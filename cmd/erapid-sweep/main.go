@@ -1,0 +1,211 @@
+// Command erapid-sweep regenerates the paper's figures: throughput,
+// latency and power versus offered load for the four network modes,
+// per traffic pattern.
+//
+//	erapid-sweep -figure 5            # uniform + complement (Fig. 5)
+//	erapid-sweep -figure 6            # butterfly + shuffle (Fig. 6)
+//	erapid-sweep -figure all -csv out.csv
+//	erapid-sweep -patterns uniform -modes NP-NB,P-B -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync/atomic"
+
+	erapid "repro"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sweep"
+)
+
+func main() {
+	var (
+		figure   = flag.String("figure", "all", "which figure to regenerate: 5, 6 or all")
+		patterns = flag.String("patterns", "", "comma-separated pattern list (overrides -figure)")
+		modes    = flag.String("modes", "NP-NB,P-NB,NP-B,P-B", "comma-separated mode list")
+		loads    = flag.String("loads", "", "comma-separated loads (default 0.1..0.9)")
+		csvPath  = flag.String("csv", "", "write full results as CSV to this file")
+		svgDir   = flag.String("svg", "", "write one SVG chart per (figure, metric) into this directory")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		quick    = flag.Bool("quick", false, "shorter warm-up/measurement (coarser, ~5x faster)")
+		boards   = flag.Int("boards", 8, "boards B")
+		nodes    = flag.Int("nodes", 8, "nodes per board D")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	pats, err := pickPatterns(*figure, *patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ms, err := parseModes(*modes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ls, err := parseLoads(*loads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	base := erapid.DefaultConfig(erapid.NPNB)
+	base.Boards = *boards
+	base.NodesPerBoard = *nodes
+	base.Seed = *seed
+	if *quick {
+		base.WarmupCycles = 8000
+		base.MeasureCycles = 5000
+		base.DrainLimitCycles = 60000
+	}
+
+	total := len(pats) * len(ms) * len(ls)
+	var done atomic.Int64
+	fmt.Fprintf(os.Stderr, "running %d simulations (%d patterns x %d modes x %d loads)...\n",
+		total, len(pats), len(ms), len(ls))
+	series := erapid.Sweep(sweep.Request{
+		Base:     base,
+		Patterns: pats,
+		Modes:    ms,
+		Loads:    ls,
+		Workers:  *workers,
+		OnResult: func(s sweep.Series, p sweep.Point) {
+			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %s load %.2f\n", done.Add(1), total, s.Label(), p.Load)
+		},
+	})
+	if errs := erapid.SweepErrs(series); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "error:", e)
+		}
+		os.Exit(1)
+	}
+
+	// Group by pattern and render each figure.
+	for _, pat := range pats {
+		var group []sweep.Series
+		for _, s := range series {
+			if s.Pattern == pat {
+				group = append(group, s)
+			}
+		}
+		fig := "Figure 6"
+		if pat == erapid.Uniform || pat == erapid.Complement {
+			fig = "Figure 5"
+		}
+		fmt.Printf("\n================ %s: %s traffic ================\n\n", fig, pat)
+		report.Figure(os.Stdout, fig+" ("+pat+")", group)
+	}
+	fmt.Println()
+	report.Summary(os.Stdout, series)
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := report.WriteCSV(f, series); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+	if *svgDir != "" {
+		if err := writeSVGs(*svgDir, pats, series); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeSVGs renders one SVG per (pattern, metric) into dir.
+func writeSVGs(dir string, pats []string, series []sweep.Series) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, pat := range pats {
+		var group []sweep.Series
+		for _, s := range series {
+			if s.Pattern == pat {
+				group = append(group, s)
+			}
+		}
+		for _, m := range report.Metrics() {
+			path := dir + "/" + pat + "-" + m.Name + ".svg"
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := report.WriteSVG(f, pat+" traffic", group, m); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+	return nil
+}
+
+func pickPatterns(figure, override string) ([]string, error) {
+	if override != "" {
+		return splitList(override), nil
+	}
+	switch figure {
+	case "5":
+		return []string{erapid.Uniform, erapid.Complement}, nil
+	case "6":
+		return []string{erapid.Butterfly, erapid.Shuffle}, nil
+	case "all":
+		return erapid.PaperPatterns(), nil
+	}
+	return nil, fmt.Errorf("unknown figure %q (want 5, 6 or all)", figure)
+}
+
+func parseModes(s string) ([]core.Mode, error) {
+	var ms []core.Mode
+	for _, tok := range splitList(s) {
+		m, err := erapid.ParseMode(tok)
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, m)
+	}
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("no modes given")
+	}
+	return ms, nil
+}
+
+func parseLoads(s string) ([]float64, error) {
+	if s == "" {
+		return erapid.PaperLoads(), nil
+	}
+	var ls []float64
+	for _, tok := range splitList(s) {
+		var v float64
+		if _, err := fmt.Sscanf(tok, "%g", &v); err != nil {
+			return nil, fmt.Errorf("bad load %q", tok)
+		}
+		ls = append(ls, v)
+	}
+	return ls, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+// Command erapid-verify runs every quantitative claim of the paper's
+// evaluation section against this reproduction and prints PASS/FAIL with
+// the measured values. A full run simulates a few dozen 64-node systems
+// and takes a couple of minutes; -quick shortens it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/claims"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "shorter schedules (coarser)")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	outs := claims.Verify(claims.Settings{Quick: *quick, Workers: *workers})
+	failed := 0
+	fmt.Println("Paper claims (Sec. 4.2) vs this reproduction:")
+	fmt.Println()
+	for _, o := range outs {
+		status := "PASS"
+		if !o.Pass {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("[%s] %s\n", status, o.ID)
+		fmt.Printf("       paper:    %s\n", o.Paper)
+		if err := o.Err(); err != nil {
+			fmt.Printf("       error:    %v\n", err)
+		} else {
+			fmt.Printf("       measured: %s\n", o.Measured)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%d/%d claims reproduced\n", len(outs)-failed, len(outs))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,148 @@
+// Command erapid runs a single E-RAPID simulation and prints its
+// metrics.
+//
+// Examples:
+//
+//	erapid -mode P-B -pattern complement -load 0.7
+//	erapid -mode NP-NB -pattern uniform -load 0.5 -boards 4 -nodes 4
+//	erapid -mode P-B -pattern complement -load 0.7 -trace | head -40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	erapid "repro"
+	"repro/internal/core"
+	"repro/internal/flit"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "P-B", "network mode: NP-NB, P-NB, NP-B or P-B")
+		pattern = flag.String("pattern", erapid.Uniform, "traffic pattern (uniform, complement, butterfly, shuffle, transpose, bitreverse, tornado, neighbor, hotspot)")
+		load    = flag.Float64("load", 0.5, "offered load as a fraction of uniform network capacity")
+		rate    = flag.Float64("rate", 0, "absolute injection rate in packets/node/cycle (overrides -load)")
+		boards  = flag.Int("boards", 8, "boards B")
+		nodes   = flag.Int("nodes", 8, "nodes per board D")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		window  = flag.Uint64("window", 2000, "reconfiguration window R_w in cycles")
+		maxHold = flag.Int("maxhold", 4, "max channels one flow may hold (0 = unlimited)")
+		warmup  = flag.Uint64("warmup", 20000, "warm-up cycles")
+		measure = flag.Uint64("measure", 10000, "measurement cycles")
+		drain   = flag.Uint64("drain", 300000, "drain limit cycles")
+		lsTrace = flag.Bool("trace", false, "print the Lock-Step protocol stage trace (Fig. 4)")
+		cfgPath = flag.String("config", "", "load a JSON config file (flags override it)")
+		dump    = flag.String("dump-config", "", "write the effective config as JSON and exit")
+		journey = flag.Int("journey", 0, "after the run, print the traced journeys of N delivered packets")
+	)
+	flag.Parse()
+
+	m, err := erapid.ParseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := erapid.DefaultConfig(m)
+	if *cfgPath != "" {
+		var err error
+		cfg, err = core.LoadConfig(*cfgPath, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	cfg.Pattern = *pattern
+	cfg.Load = *load
+	cfg.InjectionRate = *rate
+	cfg.Boards = *boards
+	cfg.NodesPerBoard = *nodes
+	cfg.Seed = *seed
+	cfg.Window = *window
+	cfg.MaxHold = *maxHold
+	cfg.WarmupCycles = *warmup
+	cfg.MeasureCycles = *measure
+	cfg.DrainLimitCycles = *drain
+
+	if *dump != "" {
+		if err := core.SaveConfig(*dump, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *dump)
+		return
+	}
+
+	sys, err := erapid.NewSystem(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *lsTrace {
+		sys.Controllers().EnableTrace()
+	}
+	var tracer *trace.Tracer
+	if *journey > 0 {
+		tracer = trace.New(1 << 20)
+		sys.AttachTracer(tracer)
+	}
+	res := sys.Run()
+	printResult(res, cfg)
+	if *lsTrace {
+		fmt.Println("\nLock-Step protocol trace (cycle, board, stage):")
+		for _, ev := range sys.Controllers().Trace() {
+			fmt.Printf("  %8d  board %d  %s\n", ev.Cycle, ev.Board, ev.Stage)
+		}
+	}
+	if tracer != nil {
+		printJourneys(tracer, *journey)
+	}
+}
+
+// printJourneys dumps the event journeys of the last n delivered packets
+// still present in the trace ring.
+func printJourneys(tr *trace.Tracer, n int) {
+	evs := tr.Events()
+	var ids []flit.PacketID
+	seen := map[flit.PacketID]bool{}
+	for i := len(evs) - 1; i >= 0 && len(ids) < n; i-- {
+		if evs[i].Kind == trace.Deliver && !seen[evs[i].Packet] {
+			seen[evs[i].Packet] = true
+			ids = append(ids, evs[i].Packet)
+		}
+	}
+	fmt.Printf("\npacket journeys (%d of %d delivered in trace window):\n", len(ids), tr.Count(trace.Deliver))
+	for _, id := range ids {
+		fmt.Println()
+		for _, ev := range tr.Journey(id) {
+			fmt.Println(" ", ev)
+		}
+	}
+}
+
+func printResult(r *core.Result, cfg core.Config) {
+	fmt.Printf("E-RAPID R(1,%d,%d), %d nodes — %s, %s traffic\n",
+		cfg.Boards, cfg.NodesPerBoard, cfg.Boards*cfg.NodesPerBoard, r.Mode, r.Pattern)
+	fmt.Printf("  capacity N_c          %.5f pkt/node/cycle (uniform, analytic)\n", r.Capacity)
+	fmt.Printf("  offered load          %.2f x N_c = %.5f pkt/node/cycle (measured %.5f)\n", r.Load, r.Rate, r.OfferedLoad)
+	fmt.Printf("  accepted throughput   %.5f pkt/node/cycle (%.2f x N_c)\n", r.Throughput, r.NormalizedThroughput())
+	fmt.Printf("  latency avg/p50/p95   %.0f / %.0f / %.0f cycles  (%d samples)\n",
+		r.AvgLatency, r.P50Latency, r.P95Latency, r.Samples)
+	fmt.Printf("  power dynamic/supply  %.1f / %.1f mW   (%.2f pJ/bit)\n",
+		r.PowerDynamicMW, r.PowerSupplyMW, r.EnergyPerBitPJ)
+	fmt.Printf("  reconfiguration       %d reassignments (%d reclaims, %d failed), %d ring msgs\n",
+		r.Ctrl.Reassignments, r.Ctrl.Reclaims, r.Ctrl.FailedMoves, r.Ctrl.MessagesSent)
+	fmt.Printf("  power management      %d ups, %d downs, %d shutdowns, %d wakes\n",
+		r.Ctrl.LevelUps, r.Ctrl.LevelDowns, r.Ctrl.Shutdowns, r.Wakes)
+	fmt.Printf("  simulated             %d cycles, injected %d, delivered %d",
+		r.Cycles, r.Injected, r.Delivered)
+	if r.Truncated {
+		fmt.Printf(" [drain truncated: saturated]")
+	}
+	if r.Saturated() {
+		fmt.Printf(" [beyond saturation]")
+	}
+	fmt.Println()
+}

@@ -1,0 +1,122 @@
+// Package erapid is a cycle-accurate simulator of E-RAPID, the
+// power-aware bandwidth-reconfigurable optical interconnect of
+//
+//	A. K. Kodi and A. Louri, "Power-Aware Bandwidth-Reconfigurable
+//	Optical Interconnects for High-Performance Computing (HPC) Systems",
+//	IPPS/IPDPS 2007.
+//
+// The library models the complete system: Spider-style electrical
+// virtual-channel routers on each board, the WDM optical super-highway
+// with per-destination passive couplers and laser arrays, the three
+// bit-rate/voltage operating points of the optical links, and the
+// distributed Lock-Step reconfiguration protocol that combines Dynamic
+// Power Management (DPM) with Dynamic Bandwidth Re-allocation (DBR).
+//
+// # Quick start
+//
+//	cfg := erapid.DefaultConfig(erapid.PB) // power-aware, bandwidth-reconfigured
+//	cfg.Pattern = erapid.Complement
+//	cfg.Load = 0.7 // fraction of uniform-traffic network capacity
+//	res, err := erapid.Run(cfg)
+//	if err != nil { ... }
+//	fmt.Println(res.Throughput, res.AvgLatency, res.PowerDynamicMW)
+//
+// Full figure sweeps (throughput / latency / power across loads, modes
+// and traffic patterns, run in parallel) are available through Sweep;
+// see the examples directory and cmd/erapid-sweep.
+package erapid
+
+import (
+	"repro/internal/core"
+	"repro/internal/sweep"
+	"repro/internal/traffic"
+)
+
+// Mode selects one of the four network configurations of the paper's
+// design space (Fig. 3).
+type Mode = core.Mode
+
+// The four network configurations.
+const (
+	// NPNB: non-power-aware, non-bandwidth-reconfigured (static RAPID).
+	NPNB = core.NPNB
+	// PNB: power-aware only (DPM).
+	PNB = core.PNB
+	// NPB: bandwidth-reconfigured only (DBR).
+	NPB = core.NPB
+	// PB: the paper's Lock-Step technique (DPM + DBR).
+	PB = core.PB
+)
+
+// Traffic pattern names accepted by Config.Pattern.
+const (
+	Uniform    = traffic.Uniform
+	Complement = traffic.Complement
+	Butterfly  = traffic.Butterfly
+	Shuffle    = traffic.Shuffle
+	Transpose  = traffic.Transpose
+	BitReverse = traffic.BitReverse
+	Tornado    = traffic.Tornado
+	Neighbor   = traffic.Neighbor
+	Hotspot    = traffic.Hotspot
+)
+
+// Config describes one simulation run. Obtain a baseline with
+// DefaultConfig and override fields.
+type Config = core.Config
+
+// Result carries the metrics of one run.
+type Result = core.Result
+
+// System is an assembled network for custom cycle-by-cycle drivers.
+type System = core.System
+
+// Modes returns the four configurations in the paper's order.
+func Modes() []Mode { return core.Modes() }
+
+// ParseMode parses a mode label such as "P-B".
+func ParseMode(s string) (Mode, error) { return core.ParseMode(s) }
+
+// DefaultConfig returns the paper's 64-node operating point (8 boards ×
+// 8 nodes, Table 1 parameters, R_w = 2000) for the given mode.
+func DefaultConfig(mode Mode) Config { return core.DefaultConfig(mode) }
+
+// Run simulates one configuration through warm-up, measurement and
+// drain, returning the collected metrics.
+func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// NewSystem assembles a network without running it, for custom drivers
+// (see examples/designspace).
+func NewSystem(cfg Config) (*System, error) { return core.NewSystem(cfg) }
+
+// PatternNames lists every supported traffic pattern.
+func PatternNames() []string { return traffic.Names() }
+
+// PaperPatterns lists the four patterns evaluated in the paper.
+func PaperPatterns() []string { return traffic.PaperNames() }
+
+// SweepRequest describes a batch of runs over patterns × modes × loads.
+type SweepRequest = sweep.Request
+
+// SweepSeries is one curve of a figure.
+type SweepSeries = sweep.Series
+
+// SweepPoint is one (load, result) pair.
+type SweepPoint = sweep.Point
+
+// Sweep runs the batch in parallel and returns one series per
+// (pattern, mode) pair.
+func Sweep(req SweepRequest) []SweepSeries { return sweep.Run(req) }
+
+// PaperLoads returns the paper's load axis: 0.1 … 0.9 of capacity.
+func PaperLoads() []float64 { return sweep.PaperLoads() }
+
+// SweepErrs collects errors across a sweep's points.
+func SweepErrs(series []SweepSeries) []error { return sweep.Errs(series) }
+
+// WindowSample is one reconfiguration window of system activity, for
+// time-series studies (see System.EnableHistory).
+type WindowSample = core.WindowSample
+
+// History accumulates per-window samples of a running system.
+type History = core.History

@@ -1,0 +1,57 @@
+// Complement traffic is E-RAPID's worst case: every node of board b
+// talks only to board B-1-b, so each board-pair rides a single static
+// wavelength and the network saturates at a fraction of its capacity.
+// This example reproduces the paper's Sec. 4.2 story: dynamic bandwidth
+// re-allocation recruits the idle wavelengths and multiplies throughput
+// by ~4x, and the power-aware variant does it at lower power.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	erapid "repro"
+)
+
+func main() {
+	fmt.Println("Complement traffic at 0.9 of network capacity (64 nodes):")
+	fmt.Printf("%-6s %12s %10s %12s %14s %s\n",
+		"mode", "throughput", "latency", "power(mW)", "reassignments", "held-channels(board0→7)")
+
+	var baseThr, baseP float64
+	for _, mode := range erapid.Modes() {
+		cfg := erapid.DefaultConfig(mode)
+		cfg.Pattern = erapid.Complement
+		cfg.Load = 0.9
+		cfg.DrainLimitCycles = 80000 // saturated points drain slowly
+
+		sys, err := erapid.NewSystem(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := sys.Run()
+
+		// How many wavelengths did board 0 end up holding toward board 7?
+		held := len(sys.Fabric().HoldersToward(0, 7))
+
+		if mode == erapid.NPNB {
+			baseThr, baseP = res.Throughput, res.PowerDynamicMW
+		}
+		fmt.Printf("%-6s %12.5f %10.0f %12.1f %14d %d\n",
+			mode, res.Throughput, res.AvgLatency, res.PowerDynamicMW,
+			res.Ctrl.Reassignments, held)
+	}
+
+	fmt.Println()
+	cfg := erapid.DefaultConfig(erapid.NPB)
+	cfg.Pattern = erapid.Complement
+	cfg.Load = 0.9
+	cfg.DrainLimitCycles = 80000
+	res, err := erapid.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("NP-B gains %.1fx throughput over NP-NB at %.1fx the dynamic power\n",
+		res.Throughput/baseThr, res.PowerDynamicMW/baseP)
+	fmt.Println("(the paper reports ~4x throughput at ~4x power — 'almost 400% improvement')")
+}

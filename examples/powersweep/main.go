@@ -1,0 +1,62 @@
+// Powersweep quantifies the paper's headline claim — the Lock-Step P-B
+// network saves 25-50% power at under 5-8% throughput cost — across the
+// load axis, using the parallel sweep harness.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	erapid "repro"
+)
+
+func main() {
+	base := erapid.DefaultConfig(erapid.NPNB)
+	base.WarmupCycles = 12000
+	base.MeasureCycles = 8000
+	base.DrainLimitCycles = 80000
+
+	series := erapid.Sweep(erapid.SweepRequest{
+		Base:     base,
+		Patterns: []string{erapid.Uniform},
+		Modes:    []erapid.Mode{erapid.NPNB, erapid.PNB, erapid.PB},
+		Loads:    []float64{0.1, 0.3, 0.5, 0.7, 0.9},
+	})
+	if errs := erapid.SweepErrs(series); len(errs) > 0 {
+		log.Fatal(errs)
+	}
+
+	byMode := map[erapid.Mode]erapid.SweepSeries{}
+	for _, s := range series {
+		byMode[s.Mode] = s
+	}
+
+	fmt.Println("Uniform traffic: power and throughput of the power-aware modes")
+	fmt.Println("relative to the static NP-NB baseline, per load:")
+	fmt.Printf("%5s  %22s  %22s\n", "", "P-NB", "P-B (Lock-Step)")
+	fmt.Printf("%5s  %10s %10s  %10s %10s\n", "load", "Δpower", "Δthr", "Δpower", "Δthr")
+	npnb := byMode[erapid.NPNB]
+	for i, pt := range npnb.Points {
+		b := pt.Result
+		pnb := byMode[erapid.PNB].Points[i].Result
+		pb := byMode[erapid.PB].Points[i].Result
+		fmt.Printf("%5.1f  %9.1f%% %9.1f%%  %9.1f%% %9.1f%%\n",
+			pt.Load,
+			(pnb.PowerDynamicMW/b.PowerDynamicMW-1)*100,
+			(pnb.Throughput/b.Throughput-1)*100,
+			(pb.PowerDynamicMW/b.PowerDynamicMW-1)*100,
+			(pb.Throughput/b.Throughput-1)*100)
+	}
+
+	// Aggregate, as the paper summarizes it.
+	var sumPNB, sumPB, n float64
+	for i, pt := range npnb.Points {
+		b := pt.Result
+		sumPNB += 1 - byMode[erapid.PNB].Points[i].Result.PowerDynamicMW/b.PowerDynamicMW
+		sumPB += 1 - byMode[erapid.PB].Points[i].Result.PowerDynamicMW/b.PowerDynamicMW
+		n++
+	}
+	fmt.Printf("\naverage power saving across loads: P-NB %.0f%%, P-B %.0f%%\n",
+		sumPNB/n*100, sumPB/n*100)
+	fmt.Println("(paper: P-NB ~16%, P-B 25-50%)")
+}

@@ -1,0 +1,45 @@
+// Quickstart: simulate the paper's 64-node E-RAPID system in its
+// power-aware bandwidth-reconfigured (P-B) mode under uniform traffic
+// and print the headline metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	erapid "repro"
+)
+
+func main() {
+	cfg := erapid.DefaultConfig(erapid.PB) // Lock-Step: DPM + DBR
+	cfg.Pattern = erapid.Uniform
+	cfg.Load = 0.5 // half of the uniform-traffic network capacity
+
+	res, err := erapid.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("E-RAPID quickstart (64 nodes, P-B mode, uniform traffic, load 0.5)")
+	fmt.Printf("  accepted throughput: %.5f packets/node/cycle\n", res.Throughput)
+	fmt.Printf("  average latency:     %.0f cycles (p95 %.0f)\n", res.AvgLatency, res.P95Latency)
+	fmt.Printf("  optical link power:  %.1f mW dynamic, %.1f mW supply\n",
+		res.PowerDynamicMW, res.PowerSupplyMW)
+	fmt.Printf("  energy per bit:      %.2f pJ\n", res.EnergyPerBitPJ)
+	fmt.Printf("  DPM activity:        %d downscales, %d shutdowns, %d wakes\n",
+		res.Ctrl.LevelDowns, res.Ctrl.Shutdowns, res.Wakes)
+
+	// Compare with the static baseline at the same load.
+	base := erapid.DefaultConfig(erapid.NPNB)
+	base.Pattern = erapid.Uniform
+	base.Load = 0.5
+	bres, err := erapid.Run(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nversus the static NP-NB baseline:")
+	fmt.Printf("  throughput cost: %.1f%%\n", (1-res.Throughput/bres.Throughput)*100)
+	fmt.Printf("  power saving:    %.1f%% (dynamic), %.1f%% (supply)\n",
+		(1-res.PowerDynamicMW/bres.PowerDynamicMW)*100,
+		(1-res.PowerSupplyMW/bres.PowerSupplyMW)*100)
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ctrl"
+	"repro/internal/power"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Config describes one simulation run. The zero value is not valid; use
+// DefaultConfig and override fields.
+type Config struct {
+	// Topology: C clusters (the evaluation uses 1), B boards, D nodes per
+	// board. The paper's 64-node system is R(1,8,8).
+	Clusters      int
+	Boards        int
+	NodesPerBoard int
+
+	// Electrical router parameters (Table 1 / SGI Spider).
+	VCs            int    // virtual channels per port
+	BufDepth       int    // per-VC input buffer depth in flits (1)
+	FlitCyclesElec uint64 // flit serialization on 16-bit 400 MHz channels (4)
+	EjectDepth     int    // downstream credit depth at ejection ports
+
+	// Packet format: 64-byte packets of 8-byte flits (8 flits).
+	PacketBytes int
+	FlitBytes   int
+
+	// Optical parameters.
+	CycleNS       float64 // router cycle in ns (2.5 at 400 MHz)
+	PropCyclesOpt uint64  // fiber propagation
+	RelockCycles  uint64  // CDR/voltage transition penalty (65)
+	LaserQueueCap int     // per-laser transmit queue in packets
+
+	// Reconfiguration.
+	Mode    Mode
+	Window  uint64 // R_w (2000)
+	MaxHold int    // max channels one source may hold toward one board (4)
+	// PowerLevels is the number of operating points on the DPM ladder.
+	// 3 (the default) selects the paper's published ladder; other values
+	// interpolate between 2.5 and 5 Gbps using the component power model
+	// (the paper's "more power levels" future-work hypothesis).
+	PowerLevels int
+	// PortRadius limits each transmitter's laser array to destinations
+	// within the given ring distance of its static port (0 = full array);
+	// the paper's cost-reduced limited-reconfigurability future work.
+	PortRadius int
+
+	// Workload.
+	Pattern string
+	// Load is the offered load as a fraction of the uniform-traffic
+	// network capacity N_c (the paper sweeps 0.1–0.9).
+	Load float64
+	// InjectionRate, when nonzero, overrides Load with an absolute rate in
+	// packets/node/cycle.
+	InjectionRate float64
+	// BurstLength, when nonzero, switches injection from Bernoulli to a
+	// two-state Markov-modulated process with the given mean ON duration
+	// in cycles; BurstDuty is the fraction of time spent ON (default 0.5
+	// when BurstLength is set). The long-run mean rate is unchanged.
+	BurstLength float64
+	BurstDuty   float64
+	Seed        uint64
+
+	// Measurement methodology.
+	WarmupCycles  uint64
+	MeasureCycles uint64
+	// DrainLimitCycles caps the drain phase; runs that exceed it report
+	// Truncated=true (deeply saturated points).
+	DrainLimitCycles uint64
+}
+
+// DefaultConfig returns the paper's 64-node operating point for a mode.
+func DefaultConfig(mode Mode) Config {
+	return Config{
+		Clusters:      1,
+		Boards:        8,
+		NodesPerBoard: 8,
+
+		VCs:            2,
+		BufDepth:       1,
+		FlitCyclesElec: 4,
+		EjectDepth:     8,
+
+		PacketBytes: 64,
+		FlitBytes:   8,
+
+		CycleNS:       2.5,
+		PropCyclesOpt: 8,
+		RelockCycles:  65,
+		LaserQueueCap: 16,
+
+		Mode:        mode,
+		Window:      2000,
+		MaxHold:     4,
+		PowerLevels: 3,
+
+		Pattern: traffic.Uniform,
+		Load:    0.5,
+		Seed:    1,
+
+		WarmupCycles:     20000,
+		MeasureCycles:    10000,
+		DrainLimitCycles: 300000,
+	}
+}
+
+// Validate checks the configuration and returns the topology.
+func (c Config) Validate() (*topology.Topology, error) {
+	top, err := topology.New(c.Clusters, c.Boards, c.NodesPerBoard)
+	if err != nil {
+		return nil, err
+	}
+	if c.Clusters != 1 {
+		return nil, fmt.Errorf("core: the simulator assembles one cluster (C=1) as in the paper's evaluation; got C=%d", c.Clusters)
+	}
+	switch {
+	case c.VCs < 1 || c.BufDepth < 1 || c.FlitCyclesElec < 1 || c.EjectDepth < 1:
+		return nil, fmt.Errorf("core: invalid electrical parameters (VCs=%d BufDepth=%d FlitCycles=%d EjectDepth=%d)",
+			c.VCs, c.BufDepth, c.FlitCyclesElec, c.EjectDepth)
+	case c.PacketBytes < 1 || c.FlitBytes < 1:
+		return nil, fmt.Errorf("core: invalid packet format (%dB packets, %dB flits)", c.PacketBytes, c.FlitBytes)
+	case c.CycleNS <= 0 || c.LaserQueueCap < 1:
+		return nil, fmt.Errorf("core: invalid optical parameters")
+	case c.Window < 1:
+		return nil, fmt.Errorf("core: window must be >= 1")
+	case c.Load < 0 || (c.Load == 0 && c.InjectionRate == 0):
+		return nil, fmt.Errorf("core: need Load > 0 or explicit InjectionRate")
+	case c.MeasureCycles < 1:
+		return nil, fmt.Errorf("core: MeasureCycles must be >= 1")
+	case c.MaxHold < 0:
+		return nil, fmt.Errorf("core: MaxHold must be >= 0 (0 = unlimited)")
+	case c.PowerLevels == 1 || c.PowerLevels < 0:
+		return nil, fmt.Errorf("core: PowerLevels must be 0 (default), or >= 2; got %d", c.PowerLevels)
+	case c.BurstLength < 0 || (c.BurstLength > 0 && c.BurstLength < 1):
+		return nil, fmt.Errorf("core: BurstLength must be 0 (Bernoulli) or >= 1 cycle")
+	case c.BurstDuty < 0 || c.BurstDuty > 1:
+		return nil, fmt.Errorf("core: BurstDuty must be in [0,1]")
+	}
+	if _, err := traffic.New(c.Pattern, top.TotalNodes()); err != nil {
+		return nil, err
+	}
+	return top, nil
+}
+
+// FlitsPerPacket returns the packet length in flits.
+func (c Config) FlitsPerPacket() int {
+	return (c.PacketBytes + c.FlitBytes - 1) / c.FlitBytes
+}
+
+// Rate returns the absolute injection rate in packets/node/cycle.
+func (c Config) Rate() float64 {
+	if c.InjectionRate > 0 {
+		return c.InjectionRate
+	}
+	return c.Load * c.Capacity()
+}
+
+// Capacity returns the analytic network capacity N_c in
+// packets/node/cycle under uniform random traffic at the highest bit
+// rate, following the paper's definition (Sec. 4): the binding resource
+// is whichever saturates first — the per-board-pair optical channel or
+// the electrical injection channel.
+func (c Config) Capacity() float64 {
+	n := c.Boards * c.NodesPerBoard
+	d := float64(c.NodesPerBoard)
+	// Optical bound: per (s,d) board pair, the D nodes of board s send a
+	// D/(N-1) fraction of their packets to board d over one channel that
+	// serializes a packet in serHigh cycles.
+	serHigh := float64(power.SerializationCycles(c.PacketBytes*8, power.High, c.CycleNS))
+	optBound := float64(n-1) / (d * d * serHigh)
+	// Electrical bound: a node injects one packet per Flits×FlitCycles.
+	elecBound := 1 / (float64(c.FlitsPerPacket()) * float64(c.FlitCyclesElec))
+	if optBound < elecBound {
+		return optBound
+	}
+	return elecBound
+}
+
+// ladder builds the DPM operating-point ladder for the configuration.
+func (c Config) ladder() (*power.Ladder, error) {
+	switch c.PowerLevels {
+	case 0, 3:
+		return power.PaperLadder(), nil
+	default:
+		return power.InterpolatedLadder(c.PowerLevels)
+	}
+}
+
+// ctrlConfig derives the controller configuration for the mode.
+func (c Config) ctrlConfig() ctrl.Config {
+	cc := ctrl.DefaultConfig(c.Mode.PowerAware(), c.Mode.BandwidthReconfig())
+	cc.Window = c.Window
+	cc.MaxHold = c.MaxHold
+	return cc
+}

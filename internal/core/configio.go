@@ -1,0 +1,84 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// configJSON is the serialized form of Config. Mode is stored as its
+// paper label ("P-B") for readability.
+type configJSON struct {
+	Config
+	ModeLabel string `json:"Mode"`
+}
+
+// MarshalJSON implements json.Marshaler with a readable mode label.
+func (c Config) MarshalJSON() ([]byte, error) {
+	type bare Config // avoid recursion
+	return json.Marshal(struct {
+		bare
+		Mode string
+	}{bare(c), c.Mode.String()})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, accepting both the numeric
+// form and the paper label.
+func (c *Config) UnmarshalJSON(data []byte) error {
+	type bare Config
+	var aux struct {
+		bare
+		Mode json.RawMessage
+	}
+	// Seed with the current values so partial documents act as overrides
+	// over defaults.
+	aux.bare = bare(*c)
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	*c = Config(aux.bare)
+	if len(aux.Mode) == 0 {
+		return nil
+	}
+	var label string
+	if err := json.Unmarshal(aux.Mode, &label); err == nil {
+		m, err := ParseMode(label)
+		if err != nil {
+			return err
+		}
+		c.Mode = m
+		return nil
+	}
+	var num uint8
+	if err := json.Unmarshal(aux.Mode, &num); err != nil {
+		return fmt.Errorf("core: mode must be a label or number: %w", err)
+	}
+	if num > uint8(PB) {
+		return fmt.Errorf("core: mode %d out of range", num)
+	}
+	c.Mode = Mode(num)
+	return nil
+}
+
+// LoadConfig reads a Config from a JSON file. Missing fields keep the
+// values of the provided defaults.
+func LoadConfig(path string, defaults Config) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return defaults, err
+	}
+	cfg := defaults
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return defaults, fmt.Errorf("core: parsing %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// SaveConfig writes a Config as indented JSON.
+func SaveConfig(path string, cfg Config) error {
+	data, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

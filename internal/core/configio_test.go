@@ -1,0 +1,87 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	orig := DefaultConfig(PB)
+	orig.Pattern = "complement"
+	orig.Load = 0.7
+	orig.MaxHold = 2
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"Mode":"P-B"`) && !strings.Contains(string(data), `"Mode": "P-B"`) {
+		t.Fatalf("mode not serialized as label: %s", data)
+	}
+	var back Config
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != orig {
+		t.Fatalf("round trip changed config:\n%+v\n%+v", back, orig)
+	}
+}
+
+func TestConfigJSONNumericMode(t *testing.T) {
+	var cfg Config
+	if err := json.Unmarshal([]byte(`{"Mode":3,"Load":0.5}`), &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Mode != PB || cfg.Load != 0.5 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if err := json.Unmarshal([]byte(`{"Mode":9}`), &cfg); err == nil {
+		t.Fatal("out-of-range numeric mode accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"Mode":"bogus"}`), &cfg); err == nil {
+		t.Fatal("bad mode label accepted")
+	}
+}
+
+func TestConfigJSONPartialOverridesDefaults(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	if err := os.WriteFile(path, []byte(`{"Pattern":"butterfly","Load":0.9}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(path, DefaultConfig(PNB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Pattern != "butterfly" || cfg.Load != 0.9 {
+		t.Fatalf("overrides not applied: %+v", cfg)
+	}
+	if cfg.Boards != 8 || cfg.Mode != PNB {
+		t.Fatalf("defaults not preserved: %+v", cfg)
+	}
+}
+
+func TestSaveAndLoadConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	orig := DefaultConfig(NPB)
+	orig.Seed = 77
+	if err := SaveConfig(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadConfig(path, DefaultConfig(NPNB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != orig {
+		t.Fatalf("save/load changed config")
+	}
+}
+
+func TestLoadConfigMissingFile(t *testing.T) {
+	if _, err := LoadConfig("/nonexistent/cfg.json", DefaultConfig(NPNB)); err == nil {
+		t.Fatal("missing file did not error")
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import "repro/internal/ctrl"
+
+// WindowSample is one reconfiguration window's worth of system activity,
+// for time-series studies (the Fig. 3 design-space view, reconfiguration
+// transients, DPM settling).
+type WindowSample struct {
+	// Window is the 1-based window index; EndCycle its closing cycle.
+	Window   uint64
+	EndCycle uint64
+
+	// Injected / Delivered are packet counts within the window.
+	Injected  uint64
+	Delivered uint64
+
+	// SupplyMW / DynamicMW are the window's average optical link powers.
+	SupplyMW  float64
+	DynamicMW float64
+
+	// Reassignments / LevelChanges are protocol actions within the window.
+	Reassignments uint64
+	LevelChanges  uint64
+	Shutdowns     uint64
+	Wakes         uint64
+}
+
+// History accumulates per-window samples while enabled.
+type History struct {
+	sys     *System
+	window  uint64
+	samples []WindowSample
+
+	lastInjected  uint64
+	lastDelivered uint64
+	lastCtrl      ctrl.Counters
+	lastWakes     uint64
+	nextBoundary  uint64
+	index         uint64
+}
+
+// EnableHistory starts per-window sampling with the given window length
+// (use the configuration's R_w for protocol-aligned samples). It must be
+// called before stepping. Sampling forces power metering on continuously,
+// so a history-enabled run's Result power fields cover the whole run
+// rather than just the measurement interval.
+func (s *System) EnableHistory(window uint64) *History {
+	if window == 0 {
+		panic("core: history window must be >= 1")
+	}
+	h := &History{sys: s, window: window, nextBoundary: window}
+	s.history = h
+	s.fab.EnableMetering(true)
+	s.fab.Meter().Reset()
+	return h
+}
+
+// Samples returns the collected samples.
+func (h *History) Samples() []WindowSample { return h.samples }
+
+// Last returns the most recent sample (zero value if none).
+func (h *History) Last() WindowSample {
+	if len(h.samples) == 0 {
+		return WindowSample{}
+	}
+	return h.samples[len(h.samples)-1]
+}
+
+// observe is called by the system once per cycle.
+func (h *History) observe(now uint64) {
+	if now+1 < h.nextBoundary {
+		return
+	}
+	h.nextBoundary += h.window
+	h.index++
+	meter := h.sys.fab.Meter()
+	ctr := h.sys.ctl.Counters()
+	wakes := h.sys.fab.Wakes()
+	sample := WindowSample{
+		Window:        h.index,
+		EndCycle:      now,
+		Injected:      h.sys.injected - h.lastInjected,
+		Delivered:     h.sys.delivered - h.lastDelivered,
+		SupplyMW:      meter.AvgSupplyMW(),
+		DynamicMW:     meter.AvgDynamicMW(),
+		Reassignments: ctr.Reassignments - h.lastCtrl.Reassignments,
+		LevelChanges:  (ctr.LevelUps + ctr.LevelDowns) - (h.lastCtrl.LevelUps + h.lastCtrl.LevelDowns),
+		Shutdowns:     ctr.Shutdowns - h.lastCtrl.Shutdowns,
+		Wakes:         wakes - h.lastWakes,
+	}
+	h.samples = append(h.samples, sample)
+	h.lastInjected = h.sys.injected
+	h.lastDelivered = h.sys.delivered
+	h.lastCtrl = ctr
+	h.lastWakes = wakes
+	meter.Reset()
+}

@@ -1,0 +1,73 @@
+// Package core assembles the complete E-RAPID system — nodes, IBI
+// routers, optical fabric, link and reconfiguration controllers — and
+// runs the paper's measurement methodology over it.
+package core
+
+import "fmt"
+
+// Mode is one of the four network configurations of Fig. 3.
+type Mode uint8
+
+const (
+	// NPNB is the non-power-aware, non-bandwidth-reconfigured baseline
+	// (the static RAPID network).
+	NPNB Mode = iota
+	// PNB is power-aware, non-bandwidth-reconfigured.
+	PNB
+	// NPB is non-power-aware, bandwidth-reconfigured.
+	NPB
+	// PB is the paper's contribution: power-aware bandwidth-reconfigured
+	// (the Lock-Step technique with DPM + DBR).
+	PB
+)
+
+// Modes lists all four configurations in the paper's order.
+func Modes() []Mode { return []Mode{NPNB, PNB, NPB, PB} }
+
+// String implements fmt.Stringer with the paper's labels.
+func (m Mode) String() string {
+	switch m {
+	case NPNB:
+		return "NP-NB"
+	case PNB:
+		return "P-NB"
+	case NPB:
+		return "NP-B"
+	case PB:
+		return "P-B"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// PowerAware reports whether the mode runs DPM cycles.
+func (m Mode) PowerAware() bool { return m == PNB || m == PB }
+
+// BandwidthReconfig reports whether the mode runs DBR cycles.
+func (m Mode) BandwidthReconfig() bool { return m == NPB || m == PB }
+
+// ParseMode parses the paper's labels ("NP-NB", "P-NB", "NP-B", "P-B",
+// case-insensitive, hyphens optional).
+func ParseMode(s string) (Mode, error) {
+	norm := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z':
+			norm = append(norm, r-'a'+'A')
+		case r == '-' || r == '_' || r == ' ':
+		default:
+			norm = append(norm, r)
+		}
+	}
+	switch string(norm) {
+	case "NPNB":
+		return NPNB, nil
+	case "PNB":
+		return PNB, nil
+	case "NPB":
+		return NPB, nil
+	case "PB":
+		return PB, nil
+	}
+	return 0, fmt.Errorf("core: unknown mode %q (want NP-NB, P-NB, NP-B or P-B)", s)
+}

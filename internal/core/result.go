@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ctrl"
+)
+
+// Result summarizes one simulation run.
+type Result struct {
+	Mode    Mode
+	Pattern string
+	// Load is the configured load as a fraction of uniform capacity.
+	Load float64
+	// Rate is the absolute offered injection rate (packets/node/cycle).
+	Rate float64
+	// Capacity is the analytic uniform-traffic N_c used for normalization.
+	Capacity float64
+
+	// Throughput is accepted throughput in packets/node/cycle over the
+	// measurement interval.
+	Throughput float64
+	// OfferedLoad is the measured injection rate over the same interval.
+	OfferedLoad float64
+
+	// Latencies are in router cycles, over labeled packets.
+	AvgLatency    float64
+	P50Latency    float64
+	P95Latency    float64
+	P99Latency    float64
+	MaxLatency    float64
+	AvgNetLatency float64
+	Samples       int
+
+	// PowerDynamicMW is the utilization-weighted optical link power (the
+	// paper's headline power metric); PowerSupplyMW integrates every lit
+	// laser at its level whether transmitting or not.
+	PowerDynamicMW float64
+	PowerSupplyMW  float64
+	// EnergyPerBitPJ is dynamic energy per delivered payload bit.
+	EnergyPerBitPJ float64
+
+	// Protocol activity during the whole run.
+	Ctrl ctrl.Counters
+	// Wakes counts DLS wake-on-demand events.
+	Wakes uint64
+
+	// Cycles is the total simulated length; Truncated marks runs whose
+	// drain phase hit the limit (deeply saturated points).
+	Cycles    uint64
+	Truncated bool
+	Injected  uint64
+	Delivered uint64
+	// MaxSourceQueue is the largest NIC backlog at the end of the run; a
+	// growing backlog marks operation beyond saturation.
+	MaxSourceQueue int
+	// Fairness is Jain's index over per-node measurement-phase deliveries:
+	// 1.0 when every node receives equally, 1/N when one node receives
+	// everything. 0 when nothing was delivered.
+	Fairness float64
+}
+
+// NormalizedThroughput returns throughput as a fraction of uniform N_c.
+func (r *Result) NormalizedThroughput() float64 {
+	if r.Capacity == 0 {
+		return 0
+	}
+	return r.Throughput / r.Capacity
+}
+
+// Saturated reports whether the run operated beyond its saturation point
+// (accepted throughput visibly below offered load).
+func (r *Result) Saturated() bool {
+	return r.Throughput < 0.95*r.OfferedLoad
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s load=%.2f thr=%.5f pkt/node/cyc lat=%.0f cyc p95=%.0f pwr=%.1f mW",
+		r.Mode, r.Pattern, r.Load, r.Throughput, r.AvgLatency, r.P95Latency, r.PowerDynamicMW)
+	if r.Truncated {
+		b.WriteString(" [truncated]")
+	}
+	return b.String()
+}

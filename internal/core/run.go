@@ -1,0 +1,100 @@
+package core
+
+import "repro/internal/stats"
+
+// Run simulates the configured system through warm-up, measurement and
+// drain, and returns the collected metrics. It is the primary entry
+// point of the library.
+func Run(cfg Config) (*Result, error) {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(), nil
+}
+
+// Run executes the measurement methodology of Sec. 4 on an assembled
+// system: warm up under load, label packets injected during the
+// measurement interval, and run until every labeled packet is delivered
+// (or the drain limit is reached).
+func (s *System) Run() *Result {
+	s.ctl.Start()
+	limit := s.cfg.WarmupCycles + s.cfg.MeasureCycles + s.cfg.DrainLimitCycles
+	truncated := false
+	var now uint64
+	for {
+		now = s.Step()
+		if s.meas.Phase() == stats.Done {
+			break
+		}
+		if now >= limit {
+			truncated = true
+			break
+		}
+	}
+	s.eng.Stop()
+	res := s.result(now, truncated)
+	// Release the RC process goroutines: the run is complete.
+	s.eng.Shutdown()
+	return res
+}
+
+func (s *System) result(cycles uint64, truncated bool) *Result {
+	cfg := s.cfg
+	m := s.meas
+	meter := s.fab.Meter()
+	r := &Result{
+		Mode:     cfg.Mode,
+		Pattern:  cfg.Pattern,
+		Load:     cfg.Load,
+		Rate:     cfg.Rate(),
+		Capacity: cfg.Capacity(),
+
+		Throughput:  m.Throughput(s.top.TotalNodes()),
+		OfferedLoad: m.OfferedLoad(s.top.TotalNodes()),
+
+		AvgLatency:    m.Latency.Mean(),
+		P50Latency:    m.Latency.Quantile(0.50),
+		P95Latency:    m.Latency.Quantile(0.95),
+		P99Latency:    m.Latency.Quantile(0.99),
+		MaxLatency:    m.Latency.Max(),
+		AvgNetLatency: m.NetLatency.Mean(),
+		Samples:       m.Latency.N(),
+
+		PowerDynamicMW: meter.AvgDynamicMW(),
+		PowerSupplyMW:  meter.AvgSupplyMW(),
+
+		Ctrl:  s.ctl.Counters(),
+		Wakes: s.fab.Wakes(),
+
+		Cycles:    cycles,
+		Truncated: truncated,
+		Injected:  s.injected,
+		Delivered: s.delivered,
+	}
+	if m.DeliveredInMeasure() > 0 {
+		bits := float64(m.DeliveredInMeasure()) * float64(cfg.PacketBytes*8)
+		r.EnergyPerBitPJ = meter.DynamicEnergyNJ() * 1e3 / bits
+	}
+	for _, nic := range s.nics {
+		if q := nic.QueueLen(); q > r.MaxSourceQueue {
+			r.MaxSourceQueue = q
+		}
+	}
+	r.Fairness = jain(s.deliveredPerNode)
+	return r
+}
+
+// jain computes Jain's fairness index over per-node counts.
+func jain(xs []uint64) float64 {
+	var sum, sum2 float64
+	for _, x := range xs {
+		v := float64(x)
+		sum += v
+		sum2 += v * v
+	}
+	if sum2 == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sum2)
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ctrl"
+	"repro/internal/flit"
+	"repro/internal/link"
+	"repro/internal/optical"
+	"repro/internal/rng"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// System is a fully assembled E-RAPID network ready to simulate.
+type System struct {
+	cfg Config
+	top *topology.Topology
+	eng *sim.Engine
+
+	fab  *optical.Fabric
+	ctl  *ctrl.System
+	meas *stats.Measurement
+
+	boards    []*board
+	injectors []traffic.Source
+	nics      []*link.PacketSource // indexed by global node id
+	nextPkt   flit.PacketID
+
+	injected  uint64
+	delivered uint64
+	// deliveredPerNode counts measurement-phase deliveries per destination
+	// node, for the fairness index.
+	deliveredPerNode []uint64
+	cycle            uint64
+	nextCycle        uint64
+
+	history *History
+	tracer  *trace.Tracer
+}
+
+// board groups the per-board electrical components.
+type board struct {
+	idx    int
+	ibi    *router.Router
+	ejects []*link.PacketSink
+	// rxSources re-inject optically received packets into the IBI, one per
+	// wavelength.
+	rxSources []*link.PacketSource // index w-1
+	rrW       int                  // tie-break rotation for route choices
+}
+
+// NewSystem validates the configuration and assembles the network.
+func NewSystem(cfg Config) (*System, error) {
+	top, err := cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	ladder, err := cfg.ladder()
+	if err != nil {
+		return nil, err
+	}
+	fab, err := optical.NewFabric(top, eng, optical.Config{
+		CycleNS:        cfg.CycleNS,
+		PropCycles:     cfg.PropCyclesOpt,
+		RelockCycles:   cfg.RelockCycles,
+		QueueCap:       cfg.LaserQueueCap,
+		VCs:            cfg.VCs,
+		FlitsPerPacket: cfg.FlitsPerPacket(),
+		Ladder:         ladder,
+		PortRadius:     cfg.PortRadius,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := ctrl.NewSystem(top, fab, eng, cfg.ctrlConfig())
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:  cfg,
+		top:  top,
+		eng:  eng,
+		fab:  fab,
+		ctl:  ctl,
+		meas: stats.NewMeasurement(cfg.WarmupCycles, cfg.MeasureCycles),
+	}
+	if err := s.assemble(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustNewSystem is NewSystem for statically valid configurations.
+func MustNewSystem(cfg Config) *System {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// assemble wires NICs, IBI routers, transmitters and receivers.
+func (s *System) assemble() error {
+	cfg := s.cfg
+	top := s.top
+	b := top.Boards()
+	d := top.NodesPerBoard()
+	w := top.Wavelengths() // B-1
+	master := rng.New(cfg.Seed)
+	pattern, err := traffic.New(cfg.Pattern, top.TotalNodes())
+	if err != nil {
+		return err
+	}
+	rate := cfg.Rate()
+	if rate > 1 {
+		return fmt.Errorf("core: injection rate %v exceeds 1 packet/node/cycle", rate)
+	}
+
+	s.nics = make([]*link.PacketSource, top.TotalNodes())
+	s.deliveredPerNode = make([]uint64, top.TotalNodes())
+	for bi := 0; bi < b; bi++ {
+		bd := &board{idx: bi}
+		// Port map: inputs 0..d-1 node NICs, d..d+w-1 optical receivers;
+		// outputs 0..d-1 node ejectors, d..d+w-1 transmitters.
+		bd.ibi = router.MustNew(router.Config{
+			Name:     fmt.Sprintf("ibi%d", bi),
+			Inputs:   d + w,
+			Outputs:  d + w,
+			VCs:      cfg.VCs,
+			BufDepth: cfg.BufDepth,
+			Route:    s.routeFunc(bd),
+		})
+
+		// Node NICs and ejectors.
+		for n := 0; n < d; n++ {
+			global := top.NodeID(0, bi, n)
+			nic := link.NewPacketSource(fmt.Sprintf("nic%d", global),
+				bd.ibi.InputSink(n), cfg.VCs, cfg.BufDepth, cfg.FlitCyclesElec)
+			nic.OnDequeue = func(p *flit.Packet, now uint64) {
+				p.NetworkAt = now
+				if s.tracer != nil {
+					s.tracer.Record(trace.Event{Cycle: now, Kind: trace.NetEnter, Packet: p.ID, Board: p.SrcBoard, Wavelength: -1, Dest: -1})
+				}
+			}
+			bd.ibi.SetInputCreditSink(n, nic)
+			s.nics[global] = nic
+
+			sink := link.NewPacketSink(fmt.Sprintf("eject%d", global),
+				bd.ibi.CreditSink(n), s.onDeliver)
+			bd.ibi.ConnectOutput(n, router.OutputLink{
+				Sink:       sink,
+				FlitCycles: cfg.FlitCyclesElec,
+				DownVCs:    cfg.VCs,
+				DownDepth:  cfg.EjectDepth,
+			})
+			bd.ejects = append(bd.ejects, sink)
+		}
+
+		// Transmitters on output ports d..d+w-1.
+		for wl := 1; wl <= w; wl++ {
+			tx := s.fab.Transmitter(bi, wl)
+			port := d + wl - 1
+			bd.ibi.ConnectOutput(port, router.OutputLink{
+				Sink:       tx,
+				FlitCycles: cfg.FlitCyclesElec,
+				DownVCs:    cfg.VCs,
+				DownDepth:  cfg.FlitsPerPacket(),
+			})
+			tx.SetCreditSink(bd.ibi.CreditSink(port))
+		}
+
+		// Receivers on input ports d..d+w-1: optical deliveries feed a
+		// packet source that re-injects the flit stream into the IBI.
+		for wl := 1; wl <= w; wl++ {
+			port := d + wl - 1
+			rx := link.NewPacketSource(fmt.Sprintf("rx%d.λ%d", bi, wl),
+				bd.ibi.InputSink(port), cfg.VCs, cfg.BufDepth, cfg.FlitCyclesElec)
+			bd.ibi.SetInputCreditSink(port, rx)
+			bd.rxSources = append(bd.rxSources, rx)
+			bi, wl := bi, wl
+			s.fab.SetDeliver(bi, wl, func(p *flit.Packet, now uint64) {
+				if s.tracer != nil {
+					s.tracer.Record(trace.Event{Cycle: now, Kind: trace.OpticalArrive, Packet: p.ID, Board: bi, Wavelength: wl, Dest: bi})
+				}
+				rx.Enqueue(p)
+			})
+		}
+
+		s.boards = append(s.boards, bd)
+	}
+
+	// Injectors, one per node, each with an independent derived stream.
+	for n := 0; n < top.TotalNodes(); n++ {
+		if cfg.BurstLength > 0 {
+			duty := cfg.BurstDuty
+			if duty == 0 {
+				duty = 0.5
+			}
+			s.injectors = append(s.injectors, traffic.NewBurstyInjector(n, rate, duty, cfg.BurstLength, pattern, master))
+		} else {
+			s.injectors = append(s.injectors, traffic.NewInjector(n, rate, pattern, master))
+		}
+	}
+	return nil
+}
+
+// routeFunc builds the IBI routing function for one board: intra-board
+// packets go to their node's ejection port; inter-board packets go to a
+// transmitter whose laser currently reaches the destination board,
+// choosing the least-loaded laser (ties rotated), or the static
+// wavelength when the flow holds no channel (packets park there until
+// the owner reclaims it).
+func (s *System) routeFunc(bd *board) router.RouteFunc {
+	top := s.top
+	d := top.NodesPerBoard()
+	return func(p *flit.Packet) int {
+		if p.DstBoard == bd.idx {
+			return top.Local(p.Dst)
+		}
+		ws := s.fab.HoldersToward(bd.idx, p.DstBoard)
+		if len(ws) == 0 {
+			return d + top.Wavelength(bd.idx, p.DstBoard) - 1
+		}
+		best := ws[0]
+		bestLen := s.fab.Laser(bd.idx, best, p.DstBoard).QueueLen()
+		for i := 1; i < len(ws); i++ {
+			w := ws[(i+bd.rrW)%len(ws)]
+			if l := s.fab.Laser(bd.idx, w, p.DstBoard).QueueLen(); l < bestLen {
+				best, bestLen = w, l
+			}
+		}
+		bd.rrW++
+		return d + best - 1
+	}
+}
+
+// onDeliver is the ejection callback: it stamps the packet and feeds the
+// measurement.
+func (s *System) onDeliver(p *flit.Packet, now uint64) {
+	p.ReceivedAt = now
+	s.delivered++
+	if s.meas.Phase() == stats.Measure {
+		s.deliveredPerNode[p.Dst]++
+	}
+	if s.tracer != nil {
+		s.tracer.Record(trace.Event{Cycle: now, Kind: trace.Deliver, Packet: p.ID, Board: p.DstBoard, Wavelength: -1, Dest: -1})
+	}
+	s.meas.OnDeliver(p.Labeled, p.Latency(), p.NetworkLatency())
+}
+
+// injectAll steps every node's Bernoulli process for one cycle.
+func (s *System) injectAll(now uint64) {
+	for n, inj := range s.injectors {
+		dst, ok := inj.Step()
+		if !ok {
+			continue
+		}
+		s.nextPkt++
+		p := &flit.Packet{
+			ID:         s.nextPkt,
+			Src:        n,
+			Dst:        dst,
+			SrcBoard:   s.top.Board(n),
+			DstBoard:   s.top.Board(dst),
+			Size:       s.cfg.PacketBytes,
+			FlitBytes:  s.cfg.FlitBytes,
+			InjectedAt: now,
+			Labeled:    s.meas.OnInject(now),
+		}
+		s.injected++
+		if s.tracer != nil {
+			s.tracer.Record(trace.Event{Cycle: now, Kind: trace.Inject, Packet: p.ID, Board: p.SrcBoard, Wavelength: -1, Dest: -1})
+		}
+		s.nics[n].Enqueue(p)
+	}
+}
+
+// step advances the whole system by one cycle.
+func (s *System) step(now uint64) {
+	s.eng.RunUntil(now)
+	s.meas.Advance(now)
+	if s.history == nil {
+		// Power metering tracks the measurement interval unless a history
+		// recorder keeps it on continuously.
+		switch s.meas.Phase() {
+		case stats.Measure:
+			s.fab.EnableMetering(true)
+		case stats.Drain, stats.Done:
+			s.fab.EnableMetering(false)
+		}
+	}
+	s.injectAll(now)
+	for _, nic := range s.nics {
+		nic.Tick(now)
+	}
+	for _, bd := range s.boards {
+		for _, rx := range bd.rxSources {
+			rx.Tick(now)
+		}
+		bd.ibi.Tick(now)
+	}
+	s.fab.Tick(now)
+	if s.history != nil {
+		s.history.observe(now)
+	}
+	s.cycle = now
+}
+
+// AttachTracer wires a trace ring buffer into the packet lifecycle:
+// injections, network entry, laser queueing and transmission, optical
+// arrival, delivery, and DBR reassignments.
+func (s *System) AttachTracer(tr *trace.Tracer) {
+	s.tracer = tr
+	s.fab.SetObserver(fabObserver{tr})
+}
+
+// fabObserver adapts the optical Observer interface to the tracer.
+type fabObserver struct{ tr *trace.Tracer }
+
+func (o fabObserver) LaserEnqueue(sb, w, d int, p *flit.Packet, now uint64) {
+	o.tr.Record(trace.Event{Cycle: now, Kind: trace.LaserEnqueue, Packet: p.ID, Board: sb, Wavelength: w, Dest: d})
+}
+
+func (o fabObserver) LaserTransmit(sb, w, d int, p *flit.Packet, now uint64) {
+	o.tr.Record(trace.Event{Cycle: now, Kind: trace.LaserTransmit, Packet: p.ID, Board: sb, Wavelength: w, Dest: d})
+}
+
+func (o fabObserver) ChannelReassign(d, w, from, to int, now uint64) {
+	o.tr.Record(trace.Event{Cycle: now, Kind: trace.Reassign, Board: to, Wavelength: w, Dest: d})
+}
+
+// SetInjectionRate changes every node's mean injection rate mid-run
+// (phased-load experiments such as the Fig. 3 design-space demo). rate
+// is in packets/node/cycle.
+func (s *System) SetInjectionRate(rate float64) {
+	for _, src := range s.injectors {
+		switch inj := src.(type) {
+		case *traffic.Injector:
+			inj.Rate = rate
+		case *traffic.BurstyInjector:
+			inj.SetMean(rate)
+		}
+	}
+}
+
+// Step advances the whole system by exactly one cycle and returns the
+// cycle just simulated. It is the building block for custom drivers
+// (e.g. the design-space time-series example); Run uses it internally.
+func (s *System) Step() uint64 {
+	now := s.nextCycle
+	s.step(now)
+	s.nextCycle++
+	return now
+}
+
+// Cycle returns the last simulated cycle.
+func (s *System) Cycle() uint64 { return s.cycle }
+
+// InjectedCount returns the number of packets injected so far.
+func (s *System) InjectedCount() uint64 { return s.injected }
+
+// DeliveredCount returns the number of packets delivered so far.
+func (s *System) DeliveredCount() uint64 { return s.delivered }
+
+// Engine exposes the simulation engine (examples and tests).
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// Fabric exposes the optical fabric.
+func (s *System) Fabric() *optical.Fabric { return s.fab }
+
+// Controllers exposes the LS controller system.
+func (s *System) Controllers() *ctrl.System { return s.ctl }
+
+// Topology exposes the topology.
+func (s *System) Topology() *topology.Topology { return s.top }
+
+// Measurement exposes the measurement state.
+func (s *System) Measurement() *stats.Measurement { return s.meas }

@@ -1,0 +1,219 @@
+// Package ctrl implements the paper's Lock-Step (LS) reconfiguration
+// protocol (Sec. 3): per-board Reconfiguration Controllers (RCs) joined
+// by a unidirectional electrical control ring, per-transmitter Link
+// Controllers (LCs) with Link_util/Buffer_util counters, the Dynamic
+// Power Management policy (Sec. 3.1) and the Dynamic Bandwidth
+// Re-allocation policy (Sec. 3.2).
+//
+// Every reconfiguration window R_w the RCs wake in lock-step. Odd
+// windows run the power-awareness cycle, purely local to each board:
+// a Power_Request traverses the LC chain, each LC scales its lasers'
+// bit rates against the L_min/L_max/B_max thresholds, and idle lasers
+// shut down. Even windows run the five-stage bandwidth cycle:
+//
+//	Link Request   — RC gathers outgoing link statistics from its LCs
+//	Board Request  — each RC circulates a request for its incoming link
+//	                 statistics around the ring; every RC it passes fills
+//	                 in the entries for channels it currently drives
+//	Reconfigure    — each RC classifies its incoming channels as
+//	                 under-/normal/over-utilized and re-allocates
+//	                 under-utilized wavelengths to over-utilized sources
+//	Board Response — the new assignments circulate back around the ring
+//	Link Response  — each RC programs its LCs: lasers turn on/off and
+//	                 the receivers re-lock onto their new sources
+//
+// RCs are sim processes (goroutines under the deterministic engine), so
+// the protocol really exchanges messages with ring-hop latencies rather
+// than being approximated by a global barrier.
+package ctrl
+
+import (
+	"fmt"
+
+	"repro/internal/optical"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Thresholds are the utilization set-points of Sec. 3.1/3.2.
+type Thresholds struct {
+	// LMin/LMax bound link utilization for bit-rate scaling.
+	LMin, LMax float64
+	// BMin/BMax bound buffer utilization: below BMin an incoming channel
+	// is re-allocatable, above BMax a flow is congested (and, jointly with
+	// LMax, a laser may scale up).
+	BMin, BMax float64
+}
+
+// PaperPB returns the thresholds the paper uses for the power-aware,
+// bandwidth-reconfigured network (L_max 0.9, L_min 0.7, B_max 0.3).
+func PaperPB() Thresholds { return Thresholds{LMin: 0.7, LMax: 0.9, BMin: 0.0, BMax: 0.3} }
+
+// PaperPNB returns the thresholds for the power-aware non-bandwidth-
+// reconfigured network (L_max 0.7, B_max 0.0: scale up conservatively
+// before saturation, since no extra bandwidth can be recruited). L_min
+// is not specified in the paper; 0.5 keeps hysteresis below L_max.
+func PaperPNB() Thresholds { return Thresholds{LMin: 0.5, LMax: 0.7, BMin: 0.0, BMax: 0.0} }
+
+// Config parameterizes the controller system.
+type Config struct {
+	// Window is R_w, the reconfiguration window (2000 cycles in Sec. 3.1).
+	Window uint64
+	// PowerAware enables the DPM cycle (odd windows).
+	PowerAware bool
+	// BandwidthReconfig enables the DBR cycle (even windows).
+	BandwidthReconfig bool
+	Thresholds        Thresholds
+	// RingHopCycles is the RC→RC control-ring hop latency.
+	RingHopCycles uint64
+	// LCHopCycles is the RC→LC chain per-hop latency.
+	LCHopCycles uint64
+	// ComputeCycles is the Reconfigure-stage computation time.
+	ComputeCycles uint64
+	// WakeLevel is the ladder level an Off laser wakes to; 0 selects the
+	// ladder bottom.
+	WakeLevel int
+	// AcquireLevel is the ladder level a newly acquired laser starts at;
+	// 0 selects the ladder top (acquired channels serve congested flows).
+	AcquireLevel int
+	// MaxHold caps how many incoming channels of one destination a single
+	// source board may hold (0 = unlimited, i.e. B-1). The paper's
+	// complement-traffic results plateau near 4× the static bandwidth,
+	// which corresponds to MaxHold = 4; see the ablation bench.
+	MaxHold int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Window < 1:
+		return fmt.Errorf("ctrl: window must be >= 1, got %d", c.Window)
+	case c.RingHopCycles < 1 || c.LCHopCycles < 1:
+		return fmt.Errorf("ctrl: hop latencies must be >= 1")
+	case c.WakeLevel < 0 || c.AcquireLevel < 0:
+		return fmt.Errorf("ctrl: wake/acquire levels must be >= 0 (0 = auto)")
+	case c.Thresholds.LMin > c.Thresholds.LMax:
+		return fmt.Errorf("ctrl: LMin %v > LMax %v", c.Thresholds.LMin, c.Thresholds.LMax)
+	case c.Thresholds.BMin > c.Thresholds.BMax:
+		return fmt.Errorf("ctrl: BMin %v > BMax %v", c.Thresholds.BMin, c.Thresholds.BMax)
+	}
+	return nil
+}
+
+// DefaultConfig returns the paper's operating point for a given mode.
+func DefaultConfig(powerAware, bandwidthReconfig bool) Config {
+	th := PaperPB()
+	if powerAware && !bandwidthReconfig {
+		th = PaperPNB()
+	}
+	return Config{
+		Window:            2000,
+		PowerAware:        powerAware,
+		BandwidthReconfig: bandwidthReconfig,
+		Thresholds:        th,
+		RingHopCycles:     4,
+		LCHopCycles:       2,
+		ComputeCycles:     4,
+		WakeLevel:         0, // ladder bottom
+		AcquireLevel:      0, // ladder top
+		MaxHold:           4,
+	}
+}
+
+// Counters aggregates protocol activity.
+type Counters struct {
+	Windows        uint64 // windows processed per RC, summed
+	PowerCycles    uint64
+	BandwidthCyles uint64
+	MessagesSent   uint64 // RC→RC control packets (per hop)
+	Reassignments  uint64 // channels moved
+	Reclaims       uint64 // channels returned to their static owner
+	LevelUps       uint64
+	LevelDowns     uint64
+	Shutdowns      uint64
+	FailedMoves    uint64 // re-allocations skipped (holder became busy)
+	// PowerCycleBusy / BandwidthCycleBusy accumulate the cycles RCs spent
+	// executing each reconfiguration cycle (the protocol's control
+	// overhead; the paper requires it to be small relative to R_w).
+	PowerCycleBusy     uint64
+	BandwidthCycleBusy uint64
+}
+
+// StageEvent records one LS protocol stage execution, for the Fig. 4
+// trace reproduction and protocol-order tests.
+type StageEvent struct {
+	Cycle uint64
+	Board int
+	Stage string
+}
+
+// System owns the per-board controllers.
+type System struct {
+	top *topology.Topology
+	fab *optical.Fabric
+	eng *sim.Engine
+	cfg Config
+
+	rcs []*RC
+	ctr Counters
+
+	// traceStages, when set, appends protocol stage events.
+	traceStages bool
+	trace       []StageEvent
+}
+
+// NewSystem builds the controller system. Call Start to spawn the RC
+// processes before running the engine.
+func NewSystem(top *topology.Topology, fab *optical.Fabric, eng *sim.Engine, cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ladder := fab.Config().Ladder
+	if cfg.WakeLevel == 0 {
+		cfg.WakeLevel = ladder.Bottom()
+	}
+	if cfg.AcquireLevel == 0 {
+		cfg.AcquireLevel = ladder.Top()
+	}
+	if !ladder.Operating(cfg.WakeLevel) || !ladder.Operating(cfg.AcquireLevel) {
+		return nil, fmt.Errorf("ctrl: wake level %d / acquire level %d not operating points of the ladder (top %d)",
+			cfg.WakeLevel, cfg.AcquireLevel, ladder.Top())
+	}
+	s := &System{top: top, fab: fab, eng: eng, cfg: cfg}
+	for b := 0; b < top.Boards(); b++ {
+		s.rcs = append(s.rcs, newRC(s, b))
+	}
+	if cfg.PowerAware {
+		fab.SetAutoWake(cfg.WakeLevel)
+	}
+	return s, nil
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Counters returns a snapshot of the protocol counters.
+func (s *System) Counters() Counters { return s.ctr }
+
+// RC returns board b's reconfiguration controller.
+func (s *System) RC(b int) *RC { return s.rcs[b] }
+
+// EnableTrace records LS stage events (Fig. 4).
+func (s *System) EnableTrace() { s.traceStages = true }
+
+// Trace returns the recorded stage events.
+func (s *System) Trace() []StageEvent { return s.trace }
+
+func (s *System) stage(board int, name string) {
+	if s.traceStages {
+		s.trace = append(s.trace, StageEvent{Cycle: s.eng.Now(), Board: board, Stage: name})
+	}
+}
+
+// Start spawns one RC process per board. The processes run for the
+// lifetime of the engine.
+func (s *System) Start() {
+	for _, rc := range s.rcs {
+		rc.start()
+	}
+}

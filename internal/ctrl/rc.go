@@ -1,0 +1,381 @@
+package ctrl
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// laserSnap is a statistics snapshot of one laser over the previous
+// reconfiguration window.
+type laserSnap struct {
+	linkUtil float64
+	bufUtil  float64
+	queueLen int
+}
+
+// boardMsg is an RC→RC control packet on the electrical ring.
+type boardMsg struct {
+	kind   string // "board-request" | "board-response"
+	origin int    // board whose incoming channels the message describes
+	// entries is indexed by wavelength (1..B-1).
+	entries []chanEntry
+	// assign, for board-response messages, is the new holder per
+	// wavelength.
+	assign []int
+}
+
+// chanEntry describes one incoming channel (origin, w) as seen by the
+// boards the request passed through.
+type chanEntry struct {
+	holder int
+	// Holder-reported statistics for its laser (w → origin).
+	linkUtil float64
+	bufUtil  float64
+	queueLen int
+	// ownerDemand is the static owner's buffer utilization toward origin
+	// (nonzero when the owner is starving for a channel it lent out).
+	ownerDemand float64
+	ownerQueue  int
+}
+
+// RC is one board's reconfiguration controller.
+type RC struct {
+	sys   *System
+	board int
+
+	mbox *sim.Mailbox[*boardMsg]
+
+	windows uint64
+	// lastAssign records the most recent holder map this RC computed for
+	// its incoming channels (diagnostics).
+	lastAssign []int
+}
+
+func newRC(s *System, board int) *RC {
+	return &RC{sys: s, board: board, mbox: sim.NewMailbox[*boardMsg](s.eng, fmt.Sprintf("rc%d-inbox", board))}
+}
+
+// Board returns the RC's board index.
+func (rc *RC) Board() int { return rc.board }
+
+// Windows returns the number of reconfiguration windows processed.
+func (rc *RC) Windows() uint64 { return rc.windows }
+
+func (rc *RC) start() {
+	rc.sys.eng.SpawnProcess(fmt.Sprintf("rc%d", rc.board), rc.run)
+}
+
+// run is the RC process body: wake every R_w, alternate power (odd) and
+// bandwidth (even) cycles.
+func (rc *RC) run(p *sim.Process) {
+	w := rc.sys.cfg.Window
+	for k := uint64(1); ; k++ {
+		target := k * w
+		now := p.Now()
+		if target > now {
+			p.Delay(target - now)
+		}
+		rc.windows++
+		rc.sys.ctr.Windows++
+		snap := rc.snapshotAndReset()
+		start := p.Now()
+		if k%2 == 1 {
+			if rc.sys.cfg.PowerAware {
+				rc.sys.ctr.PowerCycles++
+				rc.powerCycle(p, snap)
+				rc.sys.ctr.PowerCycleBusy += p.Now() - start
+			}
+		} else {
+			if rc.sys.cfg.BandwidthReconfig {
+				rc.sys.ctr.BandwidthCyles++
+				rc.bandwidthCycle(p, snap)
+				rc.sys.ctr.BandwidthCycleBusy += p.Now() - start
+			}
+		}
+	}
+}
+
+// snapshotAndReset captures every local laser's window statistics and
+// resets the windows for the next R_w. Indexed [w][d].
+func (rc *RC) snapshotAndReset() [][]laserSnap {
+	b := rc.sys.top.Boards()
+	snap := make([][]laserSnap, b)
+	for w := 1; w < b; w++ {
+		snap[w] = make([]laserSnap, b)
+		for d := 0; d < b; d++ {
+			l := rc.sys.fab.Laser(rc.board, w, d)
+			if l == nil {
+				continue
+			}
+			snap[w][d] = laserSnap{
+				linkUtil: l.LinkWin.Utilization(),
+				bufUtil:  l.BufWin.Utilization(),
+				queueLen: l.QueueLen(),
+			}
+			l.LinkWin.Reset()
+			l.BufWin.Reset()
+		}
+	}
+	return snap
+}
+
+// powerCycle implements the Dynamic Power Regulation Algorithm
+// (Sec. 3.1): the Power_Request packet traverses the LC chain; each LC
+// scales its lasers locally. The RC receives no LC state back.
+func (rc *RC) powerCycle(p *sim.Process, snap [][]laserSnap) {
+	sys := rc.sys
+	sys.stage(rc.board, "power-request")
+	b := sys.top.Boards()
+	th := sys.cfg.Thresholds
+	relock := sys.fab.Config().RelockCycles
+	ladder := sys.fab.Config().Ladder
+	for w := 1; w < b; w++ { // one LC per transmitter
+		p.Delay(sys.cfg.LCHopCycles)
+		now := p.Now()
+		for d := 0; d < b; d++ {
+			l := sys.fab.Laser(rc.board, w, d)
+			if l == nil {
+				continue
+			}
+			if sys.fab.Channel(d, w).Holder() != rc.board {
+				continue // laser dark: channel driven by another board
+			}
+			st := snap[w][d]
+			switch {
+			case l.Level() == 0:
+				// Off: wake-on-demand is handled by the fabric.
+			case st.linkUtil == 0 && st.queueLen == 0 && l.QueueLen() == 0 && !l.Busy(now):
+				// Dynamic Link Shutdown: completely idle over the window.
+				l.SetLevel(0, now, relock)
+				sys.ctr.Shutdowns++
+			case st.linkUtil < th.LMin && l.Level() != ladder.Bottom():
+				l.SetLevel(ladder.Down(l.Level()), now, relock)
+				sys.ctr.LevelDowns++
+			case st.linkUtil > th.LMax && st.bufUtil > th.BMax && l.Level() != ladder.Top():
+				l.SetLevel(ladder.Up(l.Level()), now, relock)
+				sys.ctr.LevelUps++
+			}
+		}
+	}
+	p.Delay(sys.cfg.LCHopCycles) // request returns to the RC
+	sys.stage(rc.board, "power-complete")
+}
+
+// bandwidthCycle implements the five-stage LS DBR exchange (Sec. 3.2).
+func (rc *RC) bandwidthCycle(p *sim.Process, snap [][]laserSnap) {
+	sys := rc.sys
+	b := sys.top.Boards()
+
+	// Stage 1: Link Request — collect outgoing link statistics. The
+	// request visits every LC and returns to the RC.
+	sys.stage(rc.board, "link-request")
+	p.Delay(uint64(b) * sys.cfg.LCHopCycles)
+
+	// Stage 2: Board Request — circulate a request for my incoming link
+	// statistics; simultaneously fill in the requests of the other boards
+	// from my outgoing snapshot.
+	sys.stage(rc.board, "board-request")
+	mine := &boardMsg{kind: "board-request", origin: rc.board, entries: make([]chanEntry, b)}
+	for w := 1; w < b; w++ {
+		mine.entries[w].holder = sys.fab.Channel(rc.board, w).Holder()
+	}
+	rc.send(mine)
+	var full *boardMsg
+	for full == nil {
+		m := rc.recv(p, "board-request")
+		if m.origin == rc.board {
+			full = m
+			continue
+		}
+		rc.fillEntries(m, snap)
+		rc.send(m)
+	}
+
+	// Stage 3: Reconfigure — classify incoming channels and compute the
+	// new holder map.
+	sys.stage(rc.board, "reconfigure")
+	p.Delay(sys.cfg.ComputeCycles)
+	assign := rc.reconfigure(full)
+	rc.lastAssign = assign
+
+	// Stage 4: Board Response — circulate the new assignments so source
+	// boards update their outgoing tables.
+	sys.stage(rc.board, "board-response")
+	resp := &boardMsg{kind: "board-response", origin: rc.board, assign: assign}
+	rc.send(resp)
+	for done := false; !done; {
+		m := rc.recv(p, "board-response")
+		if m.origin == rc.board {
+			done = true
+			continue
+		}
+		rc.send(m)
+	}
+
+	// Stage 5: Link Response — program the LCs: lasers switch on/off and
+	// receivers re-lock.
+	sys.stage(rc.board, "link-response")
+	p.Delay(uint64(b) * sys.cfg.LCHopCycles)
+	now := p.Now()
+	for w := 1; w < b; w++ {
+		newHolder := assign[w]
+		ch := sys.fab.Channel(rc.board, w)
+		if newHolder == ch.Holder() {
+			continue
+		}
+		wasReclaim := newHolder == sys.top.StaticOwner(rc.board, w)
+		if err := sys.fab.Reassign(rc.board, w, newHolder, sys.cfg.AcquireLevel, now); err != nil {
+			// The holder accumulated traffic between snapshot and apply;
+			// leave the channel in place this window.
+			sys.ctr.FailedMoves++
+			continue
+		}
+		sys.ctr.Reassignments++
+		if wasReclaim {
+			sys.ctr.Reclaims++
+		}
+	}
+	sys.stage(rc.board, "complete")
+}
+
+// fillEntries adds this board's knowledge to another board's
+// board-request: statistics for the incoming channels of m.origin that
+// this board currently drives, and the owner-demand field for the
+// channel this board statically owns.
+func (rc *RC) fillEntries(m *boardMsg, snap [][]laserSnap) {
+	sys := rc.sys
+	b := sys.top.Boards()
+	for w := 1; w < b; w++ {
+		ch := sys.fab.Channel(m.origin, w)
+		if ch.Holder() == rc.board {
+			st := snap[w][m.origin]
+			m.entries[w].holder = rc.board
+			m.entries[w].linkUtil = st.linkUtil
+			m.entries[w].bufUtil = st.bufUtil
+			m.entries[w].queueLen = st.queueLen
+		}
+		if sys.top.StaticOwner(m.origin, w) == rc.board {
+			st := snap[w][m.origin]
+			m.entries[w].ownerDemand = st.bufUtil
+			m.entries[w].ownerQueue = st.queueLen
+		}
+	}
+}
+
+// reconfigure is the Reconfigure stage policy: classify each incoming
+// channel by its holder's Buffer_util (under-utilized ≤ B_min with an
+// idle link, over-utilized > B_max) and re-allocate under-utilized
+// wavelengths to over-utilized source flows, preferring to return lent
+// channels to congested static owners first.
+func (rc *RC) reconfigure(m *boardMsg) []int {
+	sys := rc.sys
+	b := sys.top.Boards()
+	th := sys.cfg.Thresholds
+	assign := make([]int, b)
+
+	// Demand per source board toward me.
+	demand := make([]float64, b)
+	holds := make([]int, b)
+	for w := 1; w < b; w++ {
+		e := m.entries[w]
+		assign[w] = e.holder
+		holds[e.holder]++
+		if e.bufUtil > demand[e.holder] {
+			demand[e.holder] = e.bufUtil
+		}
+	}
+	// Starving owners: no held channel, but queued demand on their static
+	// laser.
+	for w := 1; w < b; w++ {
+		owner := sys.top.StaticOwner(rc.board, w)
+		if holds[owner] == 0 && m.entries[w].ownerDemand > demand[owner] {
+			demand[owner] = m.entries[w].ownerDemand
+		}
+		if holds[owner] == 0 && m.entries[w].ownerQueue > 0 && demand[owner] <= th.BMax {
+			// Any parked packets at all mean the owner needs its channel
+			// back — a zero-bandwidth flow must never starve forever.
+			demand[owner] = th.BMax + 1e-9
+		}
+	}
+
+	maxHold := sys.cfg.MaxHold
+	if maxHold <= 0 {
+		maxHold = b - 1
+	}
+	over := make([]int, 0, b)
+	for s := 0; s < b; s++ {
+		if s != rc.board && demand[s] > th.BMax && holds[s] < maxHold {
+			over = append(over, s)
+		}
+	}
+
+	// Pass 1: reclaim — return lent channels to congested owners when the
+	// current holder is not itself congested on that channel.
+	for w := 1; w < b; w++ {
+		e := m.entries[w]
+		owner := sys.top.StaticOwner(rc.board, w)
+		if e.holder != owner && demand[owner] > th.BMax && e.bufUtil <= th.BMax {
+			assign[w] = owner
+			holds[e.holder]--
+			holds[owner]++
+		}
+	}
+
+	if len(over) == 0 {
+		return assign
+	}
+
+	// Pass 2: re-allocate completely idle channels to over-utilized flows,
+	// round-robin, rotating the start across windows for fairness.
+	next := int(rc.windows) % len(over)
+	for w := 1; w < b; w++ {
+		if assign[w] != m.entries[w].holder {
+			continue // just reclaimed
+		}
+		e := m.entries[w]
+		if e.linkUtil > 0 || e.bufUtil > th.BMin || e.queueLen > 0 {
+			continue // in use
+		}
+		if demand[e.holder] > th.BMax {
+			continue // holder is congested elsewhere toward me; keep it
+		}
+		// The holder cannot be in over (checked above), so target differs
+		// from the current holder.
+		var target int
+		found := false
+		for tries := 0; tries < len(over); tries++ {
+			cand := over[next%len(over)]
+			next++
+			if holds[cand] < maxHold && sys.fab.CanHold(cand, w, rc.board) {
+				target = cand
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		assign[w] = target
+		holds[e.holder]--
+		holds[target]++
+	}
+	return assign
+}
+
+// send forwards a message to the next RC on the ring with the hop
+// latency.
+func (rc *RC) send(m *boardMsg) {
+	sys := rc.sys
+	sys.ctr.MessagesSent++
+	dst := sys.rcs[(rc.board+1)%sys.top.Boards()]
+	dst.mbox.PutAfter(sys.cfg.RingHopCycles, m)
+}
+
+// recv blocks the RC process until a message of the given kind is
+// available. Other kinds stay queued: with equal stage timings the
+// lock-step schedule never interleaves kinds, but the protocol does not
+// depend on that.
+func (rc *RC) recv(p *sim.Process, kind string) *boardMsg {
+	return rc.mbox.ReceiveMatch(p, func(m *boardMsg) bool { return m.kind == kind })
+}

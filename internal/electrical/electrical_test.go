@@ -1,0 +1,231 @@
+package electrical
+
+import (
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Width, cfg.Height = 4, 4
+	cfg.WarmupCycles = 2000
+	cfg.MeasureCycles = 2000
+	cfg.DrainLimitCycles = 40000
+	return cfg
+}
+
+func TestValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Width = 1; c.Height = 1 },
+		func(c *Config) { c.Rate = 0 },
+		func(c *Config) { c.Rate = 1.5 },
+		func(c *Config) { c.VCs = 0 },
+		func(c *Config) { c.Pattern = "nosuch" },
+		func(c *Config) { c.MeasureCycles = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := fastConfig()
+		mutate(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	if err := fastConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDORRouting(t *testing.T) {
+	m, err := New(fastConfig()) // 4x4
+	if err != nil {
+		t.Fatal(err)
+	}
+	// node 5 = (1,1); dst 7 = (3,1): east. dst 13 = (1,3): south.
+	if got := m.routeDOR(5, 7); got != portEast {
+		t.Errorf("route 5->7 = %d, want east", got)
+	}
+	if got := m.routeDOR(5, 13); got != portSouth {
+		t.Errorf("route 5->13 = %d, want south", got)
+	}
+	if got := m.routeDOR(5, 4); got != portWest {
+		t.Errorf("route 5->4 = %d, want west", got)
+	}
+	if got := m.routeDOR(5, 1); got != portNorth {
+		t.Errorf("route 5->1 = %d, want north", got)
+	}
+	if got := m.routeDOR(5, 5); got != portLocal {
+		t.Errorf("route 5->5 = %d, want local", got)
+	}
+	// X is always resolved before Y.
+	if got := m.routeDOR(0, 15); got != portEast {
+		t.Errorf("route 0->15 = %d, want east (X first)", got)
+	}
+}
+
+func TestMeshDeliversUniformTraffic(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Rate = 0.004
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Truncated {
+		t.Fatal("run truncated at light load")
+	}
+	if r.Delivered == 0 || r.Throughput <= 0 {
+		t.Fatalf("nothing delivered: %+v", r)
+	}
+	// Light load: accepted ≈ offered.
+	if r.Throughput < 0.9*r.OfferedLoad {
+		t.Fatalf("mesh saturated at light load: %+v", r)
+	}
+	if r.AvgLatency < 30 {
+		t.Fatalf("latency %v implausibly small", r.AvgLatency)
+	}
+}
+
+func TestMeshHandlesAdversarialPattern(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Pattern = traffic.Transpose
+	cfg.Rate = 0.002
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Delivered == 0 {
+		t.Fatal("no packets delivered under transpose")
+	}
+}
+
+func TestMeshDeterminism(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Rate = 0.004
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput != b.Throughput || a.AvgLatency != b.AvgLatency || a.Injected != b.Injected {
+		t.Fatal("mesh runs nondeterministic")
+	}
+}
+
+func TestMeshSaturatesEventually(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Rate = 0.05 // far above mesh capacity
+	cfg.DrainLimitCycles = 20000
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Throughput >= r.OfferedLoad {
+		t.Fatalf("mesh accepted full overload: %+v", r)
+	}
+}
+
+func torusConfig() Config {
+	cfg := fastConfig()
+	cfg.Topology = TorusTopology
+	return cfg
+}
+
+func TestRingStep(t *testing.T) {
+	cases := []struct {
+		h, d, n int
+		dir     int
+		wraps   bool
+	}{
+		{0, 1, 4, 1, false},
+		{3, 0, 4, 1, true},  // shortest is +1 across the dateline
+		{0, 3, 4, -1, true}, // shortest is -1 across the dateline
+		{1, 3, 4, 1, false}, // distance 2 tie resolves to +1
+		{2, 0, 8, -1, false},
+	}
+	for _, c := range cases {
+		dir, wraps := ringStep(c.h, c.d, c.n)
+		if dir != c.dir || wraps != c.wraps {
+			t.Errorf("ringStep(%d,%d,%d) = (%d,%v), want (%d,%v)", c.h, c.d, c.n, dir, wraps, c.dir, c.wraps)
+		}
+	}
+}
+
+func TestTorusValidation(t *testing.T) {
+	cfg := torusConfig()
+	cfg.VCs = 3
+	if cfg.Validate() == nil {
+		t.Fatal("odd VC count accepted for torus")
+	}
+	cfg = torusConfig()
+	cfg.Topology = "hypercube"
+	if cfg.Validate() == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestTorusDeliversUniform(t *testing.T) {
+	cfg := torusConfig()
+	cfg.Rate = 0.004
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Truncated || r.Delivered == 0 {
+		t.Fatalf("torus failed to deliver: %+v", r)
+	}
+	if r.Throughput < 0.9*r.OfferedLoad {
+		t.Fatalf("torus saturated at light load: %+v", r)
+	}
+}
+
+func TestTorusSurvivesWrapHeavyPattern(t *testing.T) {
+	// Tornado traffic rides the wrap links hard — exactly the pattern that
+	// deadlocks a torus without dateline VCs. The run must complete and
+	// drain (a deadlock would truncate with zero or frozen deliveries).
+	cfg := torusConfig()
+	cfg.Pattern = traffic.Tornado
+	cfg.Rate = 0.006
+	cfg.DrainLimitCycles = 60000
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Delivered < r.Injected/2 {
+		t.Fatalf("torus likely deadlocked: injected %d, delivered %d", r.Injected, r.Delivered)
+	}
+}
+
+func TestTorusBeatsMeshOnWrapTraffic(t *testing.T) {
+	// Tornado on a ring-friendly torus has shorter paths than on a mesh:
+	// latency must be lower at equal light load.
+	base := fastConfig()
+	base.Pattern = traffic.Tornado
+	base.Rate = 0.002
+	mesh, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tor := torusConfig()
+	tor.Pattern = traffic.Tornado
+	tor.Rate = 0.002
+	torus, err := Run(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torus.AvgLatency >= mesh.AvgLatency {
+		t.Fatalf("torus latency %v not below mesh %v under tornado", torus.AvgLatency, mesh.AvgLatency)
+	}
+}
+
+func TestTorusDeterminism(t *testing.T) {
+	cfg := torusConfig()
+	cfg.Rate = 0.004
+	a, _ := Run(cfg)
+	b, _ := Run(cfg)
+	if a.Throughput != b.Throughput || a.AvgLatency != b.AvgLatency {
+		t.Fatal("torus runs nondeterministic")
+	}
+}

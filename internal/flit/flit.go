@@ -1,0 +1,157 @@
+// Package flit defines the units of data moved by the E-RAPID models:
+// packets (the end-to-end unit, and the unit of optical transmission) and
+// flits (the unit of electrical switching and buffering), plus credits
+// for link-level flow control.
+//
+// The split mirrors the paper (Sec. 2.1): "Flits from different nodes are
+// interleaved in the electrical domain using virtual channels whereas
+// packets from different boards are interleaved in the optical domain."
+package flit
+
+import "fmt"
+
+// Kind distinguishes flit positions within a packet.
+type Kind uint8
+
+const (
+	// Head carries routing information and allocates a VC downstream.
+	Head Kind = iota
+	// Body is a payload flit.
+	Body
+	// Tail releases the VC downstream. Single-flit packets are HeadTail.
+	Tail
+	// HeadTail is a single-flit packet.
+	HeadTail
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Head:
+		return "head"
+	case Body:
+		return "body"
+	case Tail:
+		return "tail"
+	case HeadTail:
+		return "headtail"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// PacketID uniquely identifies a packet within a simulation run.
+type PacketID uint64
+
+// Packet is the end-to-end data unit. One packet is Size bytes and is
+// switched electrically as Flits() flits of FlitBytes each.
+type Packet struct {
+	ID  PacketID
+	Src int // source node (global id)
+	Dst int // destination node (global id)
+
+	SrcBoard int
+	DstBoard int
+
+	// Size is the packet length in bytes (default 64 in the paper).
+	Size int
+	// FlitBytes is the flit width in bytes (8 in the paper: 8 flits/packet).
+	FlitBytes int
+
+	// InjectedAt is the cycle the packet entered the source queue.
+	InjectedAt uint64
+	// NetworkAt is the cycle the head flit left the source queue.
+	NetworkAt uint64
+	// ReceivedAt is the cycle the tail arrived at the destination node.
+	ReceivedAt uint64
+
+	// Labeled marks packets injected during the measurement interval; only
+	// labeled packets contribute to latency statistics (paper Sec. 4).
+	Labeled bool
+
+	// Control marks protocol packets (LS stage packets, bit-rate change
+	// notifications). Control packets never contribute to traffic stats.
+	Control bool
+	// Meta carries control payload for Control packets.
+	Meta any
+
+	// RouteState is scratch space for routing layers that keep per-packet
+	// state across hops (e.g. dateline-crossing bits on tori). The E-RAPID
+	// optical fabric does not use it.
+	RouteState uint8
+}
+
+// Flits returns the number of flits in the packet (at least 1).
+func (p *Packet) Flits() int {
+	if p.Size <= 0 || p.FlitBytes <= 0 {
+		return 1
+	}
+	n := (p.Size + p.FlitBytes - 1) / p.FlitBytes
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Bits returns the packet length in bits.
+func (p *Packet) Bits() int { return p.Size * 8 }
+
+// Latency returns the injection-to-delivery latency in cycles. It is only
+// meaningful after delivery.
+func (p *Packet) Latency() uint64 { return p.ReceivedAt - p.InjectedAt }
+
+// NetworkLatency returns the network traversal latency (excluding source
+// queueing) in cycles.
+func (p *Packet) NetworkLatency() uint64 { return p.ReceivedAt - p.NetworkAt }
+
+// String implements fmt.Stringer.
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt#%d %d->%d (%dB)", p.ID, p.Src, p.Dst, p.Size)
+}
+
+// Flit is the electrical switching unit.
+type Flit struct {
+	Kind   Kind
+	Packet *Packet
+	// Index is the flit's position within the packet, 0-based.
+	Index int
+	// VC is the virtual channel currently occupied (set hop by hop).
+	VC int
+}
+
+// IsHead reports whether the flit opens a packet.
+func (f *Flit) IsHead() bool { return f.Kind == Head || f.Kind == HeadTail }
+
+// IsTail reports whether the flit closes a packet.
+func (f *Flit) IsTail() bool { return f.Kind == Tail || f.Kind == HeadTail }
+
+// String implements fmt.Stringer.
+func (f *Flit) String() string {
+	return fmt.Sprintf("%s[%d] of %s", f.Kind, f.Index, f.Packet)
+}
+
+// Explode converts a packet into its flit sequence.
+func Explode(p *Packet) []*Flit {
+	n := p.Flits()
+	fs := make([]*Flit, n)
+	for i := 0; i < n; i++ {
+		k := Body
+		switch {
+		case n == 1:
+			k = HeadTail
+		case i == 0:
+			k = Head
+		case i == n-1:
+			k = Tail
+		}
+		fs[i] = &Flit{Kind: k, Packet: p, Index: i}
+	}
+	return fs
+}
+
+// Credit is a flow-control token returned upstream when a flit buffer
+// slot frees.
+type Credit struct {
+	// VC identifies the virtual channel whose slot freed.
+	VC int
+}

@@ -1,0 +1,128 @@
+package flit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFlitsCount(t *testing.T) {
+	cases := []struct {
+		size, flitBytes, want int
+	}{
+		{64, 8, 8}, // the paper's default: 64 B packet, 8 flits
+		{64, 16, 4},
+		{1, 8, 1},
+		{9, 8, 2},
+		{0, 8, 1},  // degenerate: still one flit
+		{64, 0, 1}, // degenerate flit size
+	}
+	for _, c := range cases {
+		p := &Packet{Size: c.size, FlitBytes: c.flitBytes}
+		if got := p.Flits(); got != c.want {
+			t.Errorf("Flits(size=%d, flitBytes=%d) = %d, want %d", c.size, c.flitBytes, got, c.want)
+		}
+	}
+}
+
+func TestExplodeStructure(t *testing.T) {
+	p := &Packet{ID: 1, Size: 64, FlitBytes: 8}
+	fs := Explode(p)
+	if len(fs) != 8 {
+		t.Fatalf("Explode produced %d flits, want 8", len(fs))
+	}
+	if fs[0].Kind != Head || !fs[0].IsHead() {
+		t.Errorf("first flit kind = %v, want head", fs[0].Kind)
+	}
+	if fs[7].Kind != Tail || !fs[7].IsTail() {
+		t.Errorf("last flit kind = %v, want tail", fs[7].Kind)
+	}
+	for i := 1; i < 7; i++ {
+		if fs[i].Kind != Body {
+			t.Errorf("flit %d kind = %v, want body", i, fs[i].Kind)
+		}
+		if fs[i].Index != i {
+			t.Errorf("flit %d index = %d", i, fs[i].Index)
+		}
+		if fs[i].Packet != p {
+			t.Errorf("flit %d not linked to packet", i)
+		}
+	}
+}
+
+func TestExplodeSingleFlit(t *testing.T) {
+	p := &Packet{Size: 8, FlitBytes: 8}
+	fs := Explode(p)
+	if len(fs) != 1 {
+		t.Fatalf("got %d flits, want 1", len(fs))
+	}
+	f := fs[0]
+	if f.Kind != HeadTail || !f.IsHead() || !f.IsTail() {
+		t.Fatalf("single flit kind = %v, want headtail", f.Kind)
+	}
+}
+
+// Property: Explode always yields exactly one head and one tail (possibly
+// the same flit), indices 0..n-1 in order.
+func TestExplodeProperty(t *testing.T) {
+	f := func(size uint8, flitBytes uint8) bool {
+		p := &Packet{Size: int(size), FlitBytes: int(flitBytes)}
+		fs := Explode(p)
+		if len(fs) != p.Flits() {
+			return false
+		}
+		heads, tails := 0, 0
+		for i, fl := range fs {
+			if fl.Index != i {
+				return false
+			}
+			if fl.IsHead() {
+				heads++
+			}
+			if fl.IsTail() {
+				tails++
+			}
+		}
+		return heads == 1 && tails == 1 && fs[0].IsHead() && fs[len(fs)-1].IsTail()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	p := &Packet{InjectedAt: 100, NetworkAt: 130, ReceivedAt: 250}
+	if p.Latency() != 150 {
+		t.Errorf("Latency = %d, want 150", p.Latency())
+	}
+	if p.NetworkLatency() != 120 {
+		t.Errorf("NetworkLatency = %d, want 120", p.NetworkLatency())
+	}
+}
+
+func TestBits(t *testing.T) {
+	p := &Packet{Size: 64}
+	if p.Bits() != 512 {
+		t.Errorf("Bits = %d, want 512", p.Bits())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Head: "head", Body: "body", Tail: "tail", HeadTail: "headtail", Kind(9): "kind(9)",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	p := &Packet{ID: 7, Src: 1, Dst: 2, Size: 64, FlitBytes: 8}
+	if p.String() == "" {
+		t.Error("Packet.String empty")
+	}
+	f := Explode(p)[0]
+	if f.String() == "" {
+		t.Error("Flit.String empty")
+	}
+}

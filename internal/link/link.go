@@ -1,0 +1,195 @@
+// Package link provides the electrical endpoints that feed and drain the
+// IBI router: PacketSource (a node's network interface, injecting packets
+// as paced flit streams under credit flow control) and PacketSink (a
+// node's receive interface, reassembling flits into packets).
+//
+// Channel timing follows Table 1: a 16-bit channel at 400 MHz carries a
+// 64-bit flit in 4 cycles; credits return with a one-cycle delay.
+package link
+
+import (
+	"fmt"
+
+	"repro/internal/flit"
+	"repro/internal/router"
+)
+
+// PacketSource is a network interface transmit path: an unbounded packet
+// queue drained onto a flit channel, respecting per-VC credits of the
+// downstream input buffer. It implements router.CreditSink for the
+// credits returned by the downstream router.
+type PacketSource struct {
+	name       string
+	sink       router.Sink
+	vcs        int
+	flitCycles uint64
+
+	queue   []*flit.Packet
+	credits []int
+	pending []creditEntry
+
+	// in-flight transmission state
+	cur        []*flit.Flit
+	curIdx     int
+	curVC      int
+	nextSendAt uint64
+	rrVC       int
+
+	// OnDequeue is called when a packet's head flit leaves the source
+	// queue (sets Packet.NetworkAt in the system model). May be nil.
+	OnDequeue func(p *flit.Packet, now uint64)
+
+	sent uint64
+}
+
+type creditEntry struct {
+	vc      int
+	readyAt uint64
+}
+
+// NewPacketSource creates a source feeding sink with the given VC count,
+// per-VC downstream buffer depth (initial credits) and flit serialization
+// time in cycles.
+func NewPacketSource(name string, sink router.Sink, vcs, depth int, flitCycles uint64) *PacketSource {
+	if vcs < 1 || depth < 1 || flitCycles < 1 {
+		panic(fmt.Sprintf("link: source %q: invalid vcs=%d depth=%d flitCycles=%d", name, vcs, depth, flitCycles))
+	}
+	s := &PacketSource{name: name, sink: sink, vcs: vcs, flitCycles: flitCycles}
+	s.credits = make([]int, vcs)
+	for v := range s.credits {
+		s.credits[v] = depth
+	}
+	return s
+}
+
+// Enqueue appends a packet to the source queue.
+func (s *PacketSource) Enqueue(p *flit.Packet) { s.queue = append(s.queue, p) }
+
+// QueueLen returns the number of packets waiting (excluding the one in
+// flight). Source-queue growth is the canonical saturation signal.
+func (s *PacketSource) QueueLen() int { return len(s.queue) }
+
+// Sent returns the number of packets fully transmitted.
+func (s *PacketSource) Sent() uint64 { return s.sent }
+
+// Busy reports whether a packet is currently being serialized.
+func (s *PacketSource) Busy() bool { return s.cur != nil }
+
+// PutCredit implements router.CreditSink.
+func (s *PacketSource) PutCredit(vc int, readyAt uint64) {
+	s.pending = append(s.pending, creditEntry{vc: vc, readyAt: readyAt})
+}
+
+func (s *PacketSource) absorbCredits(now uint64) {
+	if len(s.pending) == 0 {
+		return
+	}
+	kept := s.pending[:0]
+	for _, ce := range s.pending {
+		if ce.readyAt <= now {
+			s.credits[ce.vc]++
+		} else {
+			kept = append(kept, ce)
+		}
+	}
+	s.pending = kept
+}
+
+// Tick advances the source one cycle: it starts a new packet when idle
+// and a VC has credit, and sends the next flit when the channel and
+// credits allow.
+func (s *PacketSource) Tick(now uint64) {
+	s.absorbCredits(now)
+	if s.cur == nil {
+		if len(s.queue) == 0 {
+			return
+		}
+		// Choose a VC with at least one credit, round-robin for fairness.
+		chosen := -1
+		for dv := 0; dv < s.vcs; dv++ {
+			v := (s.rrVC + dv) % s.vcs
+			if s.credits[v] > 0 {
+				chosen = v
+				break
+			}
+		}
+		if chosen < 0 {
+			return
+		}
+		s.rrVC = (chosen + 1) % s.vcs
+		p := s.queue[0]
+		copy(s.queue, s.queue[1:])
+		s.queue = s.queue[:len(s.queue)-1]
+		s.cur = flit.Explode(p)
+		s.curIdx = 0
+		s.curVC = chosen
+		s.nextSendAt = now
+		if s.OnDequeue != nil {
+			s.OnDequeue(p, now)
+		}
+	}
+	if s.nextSendAt > now || s.credits[s.curVC] <= 0 {
+		return
+	}
+	f := s.cur[s.curIdx]
+	f.VC = s.curVC
+	s.credits[s.curVC]--
+	s.sink.PutFlit(f, now+s.flitCycles)
+	s.nextSendAt = now + s.flitCycles
+	s.curIdx++
+	if s.curIdx == len(s.cur) {
+		s.cur = nil
+		s.sent++
+	}
+}
+
+// PacketSink is a network interface receive path: it reassembles per-VC
+// flit streams into packets and hands completed packets to a callback.
+// It returns credits to the upstream router output with a one-cycle
+// delay.
+type PacketSink struct {
+	name    string
+	credits router.CreditSink
+	// OnPacket is called when a packet's tail flit arrives; now is the
+	// tail's arrival stamp.
+	OnPacket func(p *flit.Packet, now uint64)
+
+	open     map[int]*flit.Packet // per VC
+	received uint64
+}
+
+// NewPacketSink creates a sink returning credits to cs (may be nil for
+// tests). onPacket may be nil.
+func NewPacketSink(name string, cs router.CreditSink, onPacket func(p *flit.Packet, now uint64)) *PacketSink {
+	return &PacketSink{name: name, credits: cs, OnPacket: onPacket, open: make(map[int]*flit.Packet)}
+}
+
+// Received returns the number of completed packets.
+func (k *PacketSink) Received() uint64 { return k.received }
+
+// PutFlit implements router.Sink.
+func (k *PacketSink) PutFlit(f *flit.Flit, readyAt uint64) {
+	if cur, ok := k.open[f.VC]; ok {
+		if f.Packet != cur {
+			panic(fmt.Sprintf("link: sink %q: VC %d interleaved packets %v and %v", k.name, f.VC, cur, f.Packet))
+		}
+		if f.IsHead() {
+			panic(fmt.Sprintf("link: sink %q: duplicate head on VC %d", k.name, f.VC))
+		}
+	} else {
+		if !f.IsHead() {
+			panic(fmt.Sprintf("link: sink %q: stray %v on VC %d with no open packet", k.name, f, f.VC))
+		}
+		k.open[f.VC] = f.Packet
+	}
+	if k.credits != nil {
+		k.credits.PutCredit(f.VC, readyAt+1)
+	}
+	if f.IsTail() {
+		delete(k.open, f.VC)
+		k.received++
+		if k.OnPacket != nil {
+			k.OnPacket(f.Packet, readyAt)
+		}
+	}
+}

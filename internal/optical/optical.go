@@ -1,0 +1,486 @@
+// Package optical models the Scalable Remote Optical Super-Highway (SRS)
+// of E-RAPID: per-board transmitters built from arrays of same-wavelength
+// lasers (one laser per destination port, Fig. 2b), passive couplers that
+// merge same-numbered ports onto per-destination fibers, per-wavelength
+// receivers, and the per-laser bit-rate/voltage operating points of the
+// paper's DPM scheme.
+//
+// The central object is the Fabric, which owns the channel table: an
+// incoming channel (d, w) — wavelength w arriving at board d — is driven
+// by exactly one source board at a time, its holder. Statically the
+// holder is the RWA owner (s with w = (s-d) mod B); Dynamic Bandwidth
+// Re-allocation moves holders. The single-holder-per-channel field is the
+// model of the physical constraint that two lasers must not light the
+// same wavelength onto the same fiber.
+//
+// Packets are the optical transmission unit (paper Sec. 2.1): the
+// transmitter reassembles the electrical flit stream per VC, queues whole
+// packets per laser, and serializes them at the laser's current bit rate.
+package optical
+
+import (
+	"fmt"
+
+	"repro/internal/flit"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Config parameterizes the optical fabric.
+type Config struct {
+	// CycleNS is the router clock period in nanoseconds (2.5 at 400 MHz).
+	CycleNS float64
+	// PropCycles is the fiber propagation delay in cycles.
+	PropCycles uint64
+	// RelockCycles is the link-disable time after a bit-rate transition
+	// (65 cycles in the paper: CDR relock + voltage transition).
+	RelockCycles uint64
+	// QueueCap is the per-laser transmit queue capacity in packets.
+	QueueCap int
+	// VCs is the number of electrical VCs feeding each transmitter.
+	VCs int
+	// FlitsPerPacket sizes the per-VC reassembly buffers.
+	FlitsPerPacket int
+	// Ladder is the set of link operating points; nil selects the paper's
+	// three-level ladder (2.5/3.3/5 Gbps).
+	Ladder *power.Ladder
+	// DefaultLevel is the initial (and, for non-power-aware networks,
+	// permanent) laser operating level; 0 selects the ladder top.
+	DefaultLevel int
+	// PortRadius limits each transmitter's laser array to destinations
+	// within the given ring distance of its static destination (the
+	// paper's "cost-effective design alternatives that provide limited
+	// flexibility for reconfigurability"). 0 means a full array (a laser
+	// per destination port, Fig. 2b); 1 means the static port plus its two
+	// ring neighbours; and so on. Channels can only be re-allocated to
+	// boards whose arrays have the required port.
+	PortRadius int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.CycleNS <= 0:
+		return fmt.Errorf("optical: CycleNS = %v, need > 0", c.CycleNS)
+	case c.QueueCap < 1:
+		return fmt.Errorf("optical: QueueCap = %d, need >= 1", c.QueueCap)
+	case c.VCs < 1:
+		return fmt.Errorf("optical: VCs = %d, need >= 1", c.VCs)
+	case c.FlitsPerPacket < 1:
+		return fmt.Errorf("optical: FlitsPerPacket = %d, need >= 1", c.FlitsPerPacket)
+	case c.Ladder != nil && !c.Ladder.Operating(c.DefaultLevel):
+		return fmt.Errorf("optical: DefaultLevel %d is not an operating level of the ladder", c.DefaultLevel)
+	case c.PortRadius < 0:
+		return fmt.Errorf("optical: PortRadius must be >= 0 (0 = full array)")
+	}
+	return nil
+}
+
+// normalize fills the ladder and default-level defaults.
+func (c Config) normalize() Config {
+	if c.Ladder == nil {
+		c.Ladder = power.PaperLadder()
+	}
+	if c.DefaultLevel == 0 {
+		c.DefaultLevel = c.Ladder.Top()
+	}
+	return c
+}
+
+// Channel is one incoming wavelength at one destination board: the fiber
+// segment from the couplers into receiver (d, w).
+type Channel struct {
+	d, w      int
+	holder    int
+	busyUntil uint64
+	// deliveries counts packets received on this channel.
+	deliveries uint64
+}
+
+// Holder returns the board currently driving the channel.
+func (c *Channel) Holder() int { return c.holder }
+
+// Dest returns the destination board.
+func (c *Channel) Dest() int { return c.d }
+
+// Wavelength returns the channel's wavelength index.
+func (c *Channel) Wavelength() int { return c.w }
+
+// Busy reports whether a packet is being serialized onto the channel.
+func (c *Channel) Busy(now uint64) bool { return c.busyUntil > now }
+
+// Deliveries returns the number of packets received on the channel.
+func (c *Channel) Deliveries() uint64 { return c.deliveries }
+
+// Laser is one element of a transmitter's laser array: wavelength w at
+// board s, aimed at destination board d through port d.
+type Laser struct {
+	s, w, d int
+	ladder  *power.Ladder
+
+	level         int    // index into ladder; 0 = Off
+	disabledUntil uint64 // CDR relock / voltage transition window
+	busyUntil     uint64
+
+	queue []*flit.Packet
+
+	// LinkWin tracks Link_util: cycles spent transmitting / window.
+	LinkWin stats.Window
+	// BufWin tracks Buffer_util: queue occupancy / capacity per cycle.
+	BufWin stats.Window
+
+	transitions uint64
+	sentPackets uint64
+}
+
+// Level returns the laser's operating level (a ladder index; 0 = Off).
+func (l *Laser) Level() int { return l.level }
+
+// Operating reports whether the laser is at an operating level.
+func (l *Laser) Operating() bool { return l.ladder.Operating(l.level) }
+
+// QueueLen returns the number of packets waiting on the laser.
+func (l *Laser) QueueLen() int { return len(l.queue) }
+
+// Busy reports whether the laser is serializing a packet.
+func (l *Laser) Busy(now uint64) bool { return l.busyUntil > now }
+
+// Disabled reports whether the laser is in a relock window.
+func (l *Laser) Disabled(now uint64) bool { return l.disabledUntil > now }
+
+// Transitions returns the number of level changes (including wake-ups).
+func (l *Laser) Transitions() uint64 { return l.transitions }
+
+// Sent returns the number of packets transmitted.
+func (l *Laser) Sent() uint64 { return l.sentPackets }
+
+// SetLevel changes the operating point, paying the relock penalty when
+// the level actually changes. Changing to Off does not pay a penalty
+// (the link is simply shut down); waking from Off does.
+func (l *Laser) SetLevel(level int, now, relockCycles uint64) {
+	if !l.ladder.Valid(level) {
+		panic(fmt.Sprintf("optical: laser (%d,λ%d→%d): invalid level %d", l.s, l.w, l.d, level))
+	}
+	if level == l.level {
+		return
+	}
+	l.transitions++
+	l.level = level
+	if l.ladder.Operating(level) {
+		// Frequency/voltage transition or wake-up: the transmitter injects
+		// the bit-rate control packet and disables the link while the
+		// receiver CDR re-locks.
+		l.disabledUntil = now + relockCycles
+	}
+}
+
+// DeliverFunc receives a packet that completed optical transmission on
+// channel (d, w) at the given arrival cycle.
+type DeliverFunc func(p *flit.Packet, now uint64)
+
+// Observer receives optical-domain events (tracing/diagnostics). All
+// methods are called synchronously from the fabric; implementations must
+// be cheap and must not mutate the fabric.
+type Observer interface {
+	// LaserEnqueue: packet p joined the transmit queue of laser (s,w→d).
+	LaserEnqueue(s, w, d int, p *flit.Packet, now uint64)
+	// LaserTransmit: laser (s,w→d) started serializing p.
+	LaserTransmit(s, w, d int, p *flit.Packet, now uint64)
+	// ChannelReassign: channel (d,w) moved from one holder to another.
+	ChannelReassign(d, w, from, to int, now uint64)
+}
+
+// Fabric is the complete optical subsystem of one cluster.
+type Fabric struct {
+	top *topology.Topology
+	eng *sim.Engine
+	cfg Config
+
+	channels [][]*Channel // [d][w], w in 1..B-1 (index w, slot 0 unused)
+	lasers   [][][]*Laser // [s][w][d]; nil where s==d or w==0
+	txs      []*Transmitter
+
+	deliver [][]DeliverFunc // [d][w]
+
+	meter        *power.Meter
+	meterEnabled bool
+
+	// autoWake, when an operating level, re-enables Off lasers as soon as
+	// a packet is queued on them (the paper's DLS "turns up the link when
+	// needed"), paying the relock penalty.
+	autoWake int
+	wakes    uint64
+
+	observer Observer
+}
+
+// SetObserver attaches an optical-event observer (nil detaches).
+func (f *Fabric) SetObserver(o Observer) { f.observer = o }
+
+// SetAutoWake enables wake-on-demand for Off lasers at the given ladder
+// level. Pass 0 (Off) to disable.
+func (f *Fabric) SetAutoWake(level int) { f.autoWake = level }
+
+// Wakes returns the number of auto-wake events.
+func (f *Fabric) Wakes() uint64 { return f.wakes }
+
+// NewFabric builds the optical fabric for one cluster of the topology.
+func NewFabric(top *topology.Topology, eng *sim.Engine, cfg Config) (*Fabric, error) {
+	cfg = cfg.normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Ladder.Operating(cfg.DefaultLevel) {
+		return nil, fmt.Errorf("optical: DefaultLevel %d is not an operating level", cfg.DefaultLevel)
+	}
+	b := top.Boards()
+	f := &Fabric{top: top, eng: eng, cfg: cfg, meter: power.NewMeter(cfg.CycleNS)}
+	f.channels = make([][]*Channel, b)
+	f.deliver = make([][]DeliverFunc, b)
+	for d := 0; d < b; d++ {
+		f.channels[d] = make([]*Channel, b)
+		f.deliver[d] = make([]DeliverFunc, b)
+		for w := 1; w < b; w++ {
+			f.channels[d][w] = &Channel{d: d, w: w, holder: top.StaticOwner(d, w)}
+		}
+	}
+	f.lasers = make([][][]*Laser, b)
+	for s := 0; s < b; s++ {
+		f.lasers[s] = make([][]*Laser, b)
+		for w := 1; w < b; w++ {
+			// The static destination of transmitter (s, w).
+			staticDst := ((s-w)%b + b) % b
+			f.lasers[s][w] = make([]*Laser, b)
+			for d := 0; d < b; d++ {
+				if d == s {
+					continue
+				}
+				if cfg.PortRadius > 0 && ringDistance(d, staticDst, b) > cfg.PortRadius {
+					continue // this port is not populated in the cost-reduced array
+				}
+				f.lasers[s][w][d] = &Laser{s: s, w: w, d: d, ladder: cfg.Ladder, level: cfg.DefaultLevel}
+			}
+		}
+	}
+	for s := 0; s < b; s++ {
+		for w := 1; w < b; w++ {
+			f.txs = append(f.txs, newTransmitter(f, s, w))
+		}
+	}
+	return f, nil
+}
+
+// Topology returns the fabric's topology.
+func (f *Fabric) Topology() *topology.Topology { return f.top }
+
+// Config returns the fabric's configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Channel returns the incoming channel (d, w).
+func (f *Fabric) Channel(d, w int) *Channel { return f.channels[d][w] }
+
+// Laser returns laser (s, w, d), or nil when s == d or the port is not
+// populated (PortRadius-limited arrays).
+func (f *Fabric) Laser(s, w, d int) *Laser { return f.lasers[s][w][d] }
+
+// CanHold reports whether board s could drive channel (d, w): its
+// transmitter w must have a laser aimed at d.
+func (f *Fabric) CanHold(s, w, d int) bool {
+	return s != d && f.lasers[s][w][d] != nil
+}
+
+// ringDistance is the circular distance between boards a and b.
+func ringDistance(a, b, n int) int {
+	d := ((a-b)%n + n) % n
+	if d > n-d {
+		d = n - d
+	}
+	return d
+}
+
+// Transmitter returns transmitter w at board s.
+func (f *Fabric) Transmitter(s, w int) *Transmitter {
+	return f.txs[s*(f.top.Boards()-1)+(w-1)]
+}
+
+// SetDeliver registers the receive path for channel (d, w).
+func (f *Fabric) SetDeliver(d, w int, fn DeliverFunc) { f.deliver[d][w] = fn }
+
+// Meter returns the fabric's power meter.
+func (f *Fabric) Meter() *power.Meter { return f.meter }
+
+// EnableMetering starts (or stops) power integration; the measurement
+// driver enables it only for the measurement interval.
+func (f *Fabric) EnableMetering(on bool) { f.meterEnabled = on }
+
+// Reassign atomically moves channel (d, w) to a new holder. The departing
+// holder's laser must be idle with an empty queue; callers (the DBR
+// policy) guarantee this by only re-allocating under-utilized channels.
+// The acquiring laser starts at the given level with a relock window.
+func (f *Fabric) Reassign(d, w, newHolder int, level int, now uint64) error {
+	ch := f.channels[d][w]
+	if newHolder == d {
+		return fmt.Errorf("optical: cannot assign channel (%d,λ%d) to its own destination", d, w)
+	}
+	if newHolder == ch.holder {
+		return nil
+	}
+	if !f.CanHold(newHolder, w, d) {
+		return fmt.Errorf("optical: board %d has no laser for channel (%d,λ%d) (PortRadius-limited array)", newHolder, d, w)
+	}
+	old := f.lasers[ch.holder][w][d]
+	if len(old.queue) > 0 {
+		return fmt.Errorf("optical: channel (%d,λ%d): holder %d still has %d queued packets", d, w, ch.holder, len(old.queue))
+	}
+	oldHolder := ch.holder
+	ch.holder = newHolder
+	if f.observer != nil {
+		f.observer.ChannelReassign(d, w, oldHolder, newHolder, now)
+	}
+	nl := f.lasers[newHolder][w][d]
+	if !f.cfg.Ladder.Operating(level) {
+		level = f.cfg.DefaultLevel
+	}
+	if nl.level != level {
+		nl.SetLevel(level, now, f.cfg.RelockCycles)
+	} else {
+		// Same nominal level, but the receiver must still lock onto the new
+		// source: pay the relock window.
+		nl.transitions++
+		nl.disabledUntil = now + f.cfg.RelockCycles
+	}
+	return nil
+}
+
+// HoldersToward returns the wavelengths board s currently holds toward
+// board d (the route candidates for flow s→d), in ascending order.
+func (f *Fabric) HoldersToward(s, d int) []int {
+	var ws []int
+	for w := 1; w < f.top.Boards(); w++ {
+		if f.channels[d][w].holder == s {
+			ws = append(ws, w)
+		}
+	}
+	return ws
+}
+
+// Tick advances transmitters and lasers one cycle and samples statistics
+// and power. Call exactly once per cycle.
+func (f *Fabric) Tick(now uint64) {
+	for _, tx := range f.txs {
+		tx.tick(now)
+	}
+	b := f.top.Boards()
+	for s := 0; s < b; s++ {
+		for w := 1; w < b; w++ {
+			for d := 0; d < b; d++ {
+				l := f.lasers[s][w][d]
+				if l == nil {
+					continue
+				}
+				f.tickLaser(l, now)
+			}
+		}
+	}
+	if f.meterEnabled {
+		f.meter.Observe(1)
+	}
+}
+
+func (f *Fabric) tickLaser(l *Laser, now uint64) {
+	ch := f.channels[l.d][l.w]
+	lit := ch.holder == l.s
+	if lit && l.level == 0 && len(l.queue) > 0 && f.cfg.Ladder.Operating(f.autoWake) {
+		l.SetLevel(f.autoWake, now, f.cfg.RelockCycles)
+		f.wakes++
+	}
+	// Try to start a transmission.
+	if lit && len(l.queue) > 0 && l.Operating() &&
+		!l.Disabled(now) && !l.Busy(now) && !ch.Busy(now) {
+		p := l.queue[0]
+		copy(l.queue, l.queue[1:])
+		l.queue = l.queue[:len(l.queue)-1]
+		if f.observer != nil {
+			f.observer.LaserTransmit(l.s, l.w, l.d, p, now)
+		}
+		ser := f.cfg.Ladder.SerializationCycles(p.Bits(), l.level, f.cfg.CycleNS)
+		l.busyUntil = now + ser
+		ch.busyUntil = now + ser
+		arrival := now + ser + f.cfg.PropCycles
+		dst, wl := l.d, l.w
+		f.eng.At(arrival, func() {
+			ch.deliveries++
+			if fn := f.deliver[dst][wl]; fn != nil {
+				fn(p, arrival)
+			}
+		})
+		l.sentPackets++
+	}
+	busy := l.Busy(now)
+	l.LinkWin.Tick(busy)
+	l.BufWin.AddN(uint64(len(l.queue)), uint64(f.cfg.QueueCap))
+	if f.meterEnabled && lit && l.Operating() {
+		f.meter.AddCycleMW(f.cfg.Ladder.MW(l.level), busy)
+	}
+}
+
+// CheckInvariants verifies structural invariants; tests call it after
+// reconfiguration storms. It returns an error describing the first
+// violation found.
+func (f *Fabric) CheckInvariants() error {
+	b := f.top.Boards()
+	for d := 0; d < b; d++ {
+		for w := 1; w < b; w++ {
+			ch := f.channels[d][w]
+			if ch.holder == d {
+				return fmt.Errorf("channel (%d,λ%d) held by its own destination", d, w)
+			}
+			if ch.holder < 0 || ch.holder >= b {
+				return fmt.Errorf("channel (%d,λ%d) holder %d out of range", d, w, ch.holder)
+			}
+		}
+	}
+	// Every flow must have at least a static queue to accumulate into and
+	// per-laser queues must respect capacity.
+	for s := 0; s < b; s++ {
+		for w := 1; w < b; w++ {
+			for d := 0; d < b; d++ {
+				l := f.lasers[s][w][d]
+				if l == nil {
+					continue
+				}
+				if len(l.queue) > f.cfg.QueueCap {
+					return fmt.Errorf("laser (%d,λ%d→%d) queue %d exceeds capacity %d", s, w, d, len(l.queue), f.cfg.QueueCap)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Quiescent reports whether no laser holds queued packets or in-flight
+// serializations at the given cycle.
+func (f *Fabric) Quiescent(now uint64) bool {
+	for _, tx := range f.txs {
+		if !tx.quiescent() {
+			return false
+		}
+	}
+	b := f.top.Boards()
+	for s := 0; s < b; s++ {
+		for w := 1; w < b; w++ {
+			for d := 0; d < b; d++ {
+				l := f.lasers[s][w][d]
+				if l == nil {
+					continue
+				}
+				if len(l.queue) > 0 || l.Busy(now) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

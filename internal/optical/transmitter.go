@@ -1,0 +1,126 @@
+package optical
+
+import (
+	"fmt"
+
+	"repro/internal/flit"
+	"repro/internal/router"
+)
+
+// Transmitter is one wavelength's transmit unit at a board: the
+// electrical-to-optical domain crossing. It terminates one IBI output
+// port, reassembles the per-VC flit streams into packets (packets, not
+// flits, interleave in the optical domain), and dispatches each completed
+// packet to the laser aimed at its destination board.
+//
+// It implements router.Sink; register its credit return path with
+// SetCreditSink so reassembly-buffer slots flow back to the IBI.
+type Transmitter struct {
+	f  *Fabric
+	s  int // board
+	w  int // wavelength
+	cs router.CreditSink
+
+	vcs []txVC
+}
+
+type txVC struct {
+	entries []txEntry
+	// complete counts fully arrived packets at the front of the queue.
+	completePackets int
+}
+
+type txEntry struct {
+	f       *flit.Flit
+	readyAt uint64
+}
+
+func newTransmitter(f *Fabric, s, w int) *Transmitter {
+	return &Transmitter{f: f, s: s, w: w, vcs: make([]txVC, f.cfg.VCs)}
+}
+
+// Board returns the transmitter's board.
+func (t *Transmitter) Board() int { return t.s }
+
+// Wavelength returns the transmitter's wavelength index.
+func (t *Transmitter) Wavelength() int { return t.w }
+
+// SetCreditSink registers where reassembly credits are returned (the IBI
+// output port feeding this transmitter).
+func (t *Transmitter) SetCreditSink(cs router.CreditSink) { t.cs = cs }
+
+// PutFlit implements router.Sink: it accepts one flit of the electrical
+// stream into the per-VC reassembly buffer.
+func (t *Transmitter) PutFlit(f *flit.Flit, readyAt uint64) {
+	if f.VC < 0 || f.VC >= len(t.vcs) {
+		panic(fmt.Sprintf("optical: tx(%d,λ%d): flit on invalid VC %d", t.s, t.w, f.VC))
+	}
+	vc := &t.vcs[f.VC]
+	if len(vc.entries) >= t.f.cfg.FlitsPerPacket {
+		panic(fmt.Sprintf("optical: tx(%d,λ%d): VC %d reassembly overflow (credit protocol violated)", t.s, t.w, f.VC))
+	}
+	vc.entries = append(vc.entries, txEntry{f: f, readyAt: readyAt})
+}
+
+// tick moves completed packets from reassembly buffers into laser queues
+// and returns the freed flit credits.
+func (t *Transmitter) tick(now uint64) {
+	for v := range t.vcs {
+		vc := &t.vcs[v]
+		if len(vc.entries) == 0 {
+			continue
+		}
+		// A packet is movable when its tail has fully arrived.
+		tail := vc.entries[len(vc.entries)-1]
+		if !tail.f.IsTail() || tail.readyAt > now {
+			continue
+		}
+		p := tail.f.Packet
+		// Wormhole per VC guarantees the buffer holds exactly this packet.
+		if !vc.entries[0].f.IsHead() || vc.entries[0].f.Packet != p {
+			panic(fmt.Sprintf("optical: tx(%d,λ%d): VC %d reassembly corrupted", t.s, t.w, v))
+		}
+		dst := p.DstBoard
+		if dst == t.s {
+			panic(fmt.Sprintf("optical: tx(%d,λ%d): intra-board packet %v reached the optical domain", t.s, t.w, p))
+		}
+		laser := t.f.lasers[t.s][t.w][dst]
+		if laser == nil {
+			panic(fmt.Sprintf("optical: tx(%d,λ%d): packet for board %d routed to an unpopulated laser port", t.s, t.w, dst))
+		}
+		if len(laser.queue) >= t.f.cfg.QueueCap {
+			continue // backpressure: hold credits until the laser drains
+		}
+		laser.queue = append(laser.queue, p)
+		if t.f.observer != nil {
+			t.f.observer.LaserEnqueue(t.s, t.w, dst, p, now)
+		}
+		n := len(vc.entries)
+		vc.entries = vc.entries[:0]
+		if t.cs != nil {
+			for i := 0; i < n; i++ {
+				t.cs.PutCredit(v, now+1)
+			}
+		}
+	}
+}
+
+// quiescent reports whether all reassembly buffers are empty.
+func (t *Transmitter) quiescent() bool {
+	for v := range t.vcs {
+		if len(t.vcs[v].entries) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PendingFlits returns the number of flits currently buffered across all
+// VCs (for diagnostics).
+func (t *Transmitter) PendingFlits() int {
+	n := 0
+	for v := range t.vcs {
+		n += len(t.vcs[v].entries)
+	}
+	return n
+}

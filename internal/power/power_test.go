@@ -1,0 +1,213 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable1Values(t *testing.T) {
+	// The paper's Table 1 / Sec. 4.1 operating points.
+	cases := []struct {
+		l    Level
+		gbps float64
+		vdd  float64
+		mw   float64
+	}{
+		{Off, 0, 0, 0},
+		{Low, 2.5, 0.45, 8.6},
+		{Mid, 3.3, 0.60, 26.0},
+		{High, 5.0, 0.90, 43.03},
+	}
+	for _, c := range cases {
+		p := Table1[c.l]
+		if p.Gbps != c.gbps || p.VDD != c.vdd || p.TotalMW != c.mw {
+			t.Errorf("Table1[%v] = %+v, want {%v %v %v}", c.l, p, c.gbps, c.vdd, c.mw)
+		}
+	}
+}
+
+func TestScaledMWMatchesHighReference(t *testing.T) {
+	// At the reference point the component sum should be ~43 mW (the paper
+	// rounds to 43.03; the raw component sum is 43.30).
+	got := ScaledMW(Table1[High])
+	if math.Abs(got-43.3029) > 0.01 {
+		t.Errorf("ScaledMW(High) = %v, want ~43.30", got)
+	}
+}
+
+func TestScaledMWLowPoint(t *testing.T) {
+	// Scaling the components to 2.5 Gbps / 0.45 V should land near the
+	// published 8.6 mW total.
+	got := ScaledMW(Table1[Low])
+	if math.Abs(got-8.6) > 0.3 {
+		t.Errorf("ScaledMW(Low) = %v, want ~8.6", got)
+	}
+}
+
+func TestScaledMWOffIsZero(t *testing.T) {
+	if got := ScaledMW(Table1[Off]); got != 0 {
+		t.Errorf("ScaledMW(Off) = %v, want 0", got)
+	}
+}
+
+func TestScaledMWMonotone(t *testing.T) {
+	// Power strictly increases with level.
+	prev := -1.0
+	for _, l := range []Level{Off, Low, Mid, High} {
+		got := ScaledMW(Table1[l])
+		if got <= prev && l != Off {
+			t.Errorf("ScaledMW not monotone at %v: %v <= %v", l, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestLinkMWMonotone(t *testing.T) {
+	if !(LinkMW(Off) < LinkMW(Low) && LinkMW(Low) < LinkMW(Mid) && LinkMW(Mid) < LinkMW(High)) {
+		t.Error("LinkMW not strictly increasing across levels")
+	}
+}
+
+func TestLevelUpDown(t *testing.T) {
+	if Off.Up() != Low || Low.Up() != Mid || Mid.Up() != High || High.Up() != High {
+		t.Error("Up transitions wrong")
+	}
+	if High.Down() != Mid || Mid.Down() != Low || Low.Down() != Low || Off.Down() != Low {
+		t.Error("Down transitions wrong")
+	}
+}
+
+func TestLevelOperating(t *testing.T) {
+	if Off.Operating() {
+		t.Error("Off.Operating() = true")
+	}
+	for _, l := range []Level{Low, Mid, High} {
+		if !l.Operating() {
+			t.Errorf("%v.Operating() = false", l)
+		}
+	}
+}
+
+func TestSerializationCyclesPaperValues(t *testing.T) {
+	// 64 B packet (512 bits), 2.5 ns cycle (400 MHz):
+	//   5 Gbps   → 512/12.5  = 40.96 → 41 cycles
+	//   3.3 Gbps → 512/8.25  = 62.06 → 63 cycles
+	//   2.5 Gbps → 512/6.25  = 81.92 → 82 cycles
+	cases := []struct {
+		l    Level
+		want uint64
+	}{{High, 41}, {Mid, 63}, {Low, 82}}
+	for _, c := range cases {
+		if got := SerializationCycles(512, c.l, 2.5); got != c.want {
+			t.Errorf("SerializationCycles(512, %v) = %d, want %d", c.l, got, c.want)
+		}
+	}
+}
+
+func TestSerializationCyclesPanicsOnOff(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for Off level")
+		}
+	}()
+	SerializationCycles(512, Off, 2.5)
+}
+
+// Property: serialization time decreases (weakly) as level rises, and is
+// at least 1 cycle.
+func TestSerializationMonotoneProperty(t *testing.T) {
+	f := func(bitsRaw uint16) bool {
+		bits := int(bitsRaw)%4096 + 1
+		lo := SerializationCycles(bits, Low, 2.5)
+		mid := SerializationCycles(bits, Mid, 2.5)
+		hi := SerializationCycles(bits, High, 2.5)
+		return hi >= 1 && hi <= mid && mid <= lo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeterAccounting(t *testing.T) {
+	m := NewMeter(2.5)
+	m.AddCycles(High, 100, 40) // 100 cycles lit, 40 transmitting
+	m.Observe(100)
+	wantSupply := 43.03 // every observed cycle lit at High
+	if got := m.AvgSupplyMW(); math.Abs(got-wantSupply) > 1e-9 {
+		t.Errorf("AvgSupplyMW = %v, want %v", got, wantSupply)
+	}
+	wantDyn := 43.03 * 0.4
+	if got := m.AvgDynamicMW(); math.Abs(got-wantDyn) > 1e-9 {
+		t.Errorf("AvgDynamicMW = %v, want %v", got, wantDyn)
+	}
+	// Energy: 100 cycles × 43.03 mW × 2.5 ns = 10757.5 pJ = 10.7575 nJ.
+	if got := m.SupplyEnergyNJ(); math.Abs(got-10.7575) > 1e-9 {
+		t.Errorf("SupplyEnergyNJ = %v, want 10.7575", got)
+	}
+	if got := m.DynamicEnergyNJ(); math.Abs(got-10.7575*0.4) > 1e-9 {
+		t.Errorf("DynamicEnergyNJ = %v, want %v", got, 10.7575*0.4)
+	}
+}
+
+func TestMeterOffCostsNothing(t *testing.T) {
+	m := NewMeter(2.5)
+	m.AddCycles(Off, 1000, 0)
+	m.Observe(1000)
+	if m.AvgSupplyMW() != 0 || m.AvgDynamicMW() != 0 {
+		t.Error("Off level consumed power")
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	m := NewMeter(2.5)
+	m.AddCycle(High, true)
+	m.Observe(1)
+	m.Reset()
+	if m.AvgSupplyMW() != 0 || m.ObservedCycles() != 0 {
+		t.Error("Reset did not zero the meter")
+	}
+}
+
+func TestMeterBusyExceedsTotalPanics(t *testing.T) {
+	m := NewMeter(2.5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic when busy > total")
+		}
+	}()
+	m.AddCycles(High, 10, 11)
+}
+
+func TestMeterInvalidCyclePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-positive cycle time")
+		}
+	}()
+	NewMeter(0)
+}
+
+func TestLevelString(t *testing.T) {
+	for l, want := range map[Level]string{
+		Off: "off", Low: "low(2.5G)", Mid: "mid(3.3G)", High: "high(5G)", Level(7): "level(7)",
+	} {
+		if l.String() != want {
+			t.Errorf("Level(%d).String() = %q, want %q", l, l.String(), want)
+		}
+	}
+}
+
+func BenchmarkTable1PowerModel(b *testing.B) {
+	// Regenerates Table 1: per-level link power from the analytic
+	// component model vs the published totals.
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for _, l := range []Level{Low, Mid, High} {
+			sink += ScaledMW(Table1[l])
+		}
+	}
+	_ = sink
+	b.ReportMetric(ScaledMW(Table1[High]), "mW@5G")
+	b.ReportMetric(ScaledMW(Table1[Low]), "mW@2.5G")
+}

@@ -1,0 +1,193 @@
+// Package report renders simulation results: the static Table 1, CSV
+// series for external plotting, and ASCII line charts that reproduce the
+// shape of the paper's figures in a terminal.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/power"
+	"repro/internal/sweep"
+)
+
+// Table1 prints the simulation network parameters and the per-level
+// optical link power (the paper's Table 1), comparing the published
+// totals with the analytic component model.
+func Table1(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: Simulation network parameters")
+	fmt.Fprintln(w, strings.Repeat("-", 64))
+	rows := [][2]string{
+		{"Electrical channel width", "16 bits"},
+		{"Electrical channel speed", "400 MHz (2.5 ns cycle)"},
+		{"Per-port unidirectional bandwidth", "6.4 Gbps"},
+		{"Per-port bidirectional bandwidth", "12.8 Gbps"},
+		{"Flow control", "credit-based, 1-flit buffers, 1-cycle credit delay"},
+		{"Router pipeline", "RC, VA, SA: 1 cycle each"},
+		{"Packet size", "64 bytes (8 flits)"},
+		{"Optical bit rates", "2.5 / 3.3 / 5 Gbps"},
+		{"CDR re-lock + voltage transition", "65 cycles"},
+		{"Reconfiguration window R_w", "2000 cycles"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-36s %s\n", r[0], r[1])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "  Optical link power (whole link, TX+RX):")
+	fmt.Fprintf(w, "  %-10s %-8s %-10s %-14s %s\n", "level", "Gbps", "V_DD", "published mW", "component-model mW")
+	for _, l := range []power.Level{power.Low, power.Mid, power.High} {
+		p := power.Table1[l]
+		fmt.Fprintf(w, "  %-10s %-8.1f %-10.2f %-14.2f %.2f\n",
+			l, p.Gbps, p.VDD, p.TotalMW, power.ScaledMW(p))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "  Component constants (at 5 Gbps / 0.9 V):")
+	for _, c := range power.Components {
+		fmt.Fprintf(w, "  %-16s %8.4f mW   scaling V_DD^%d · BR^%d\n", c.Name, c.RefMW, c.VExp, c.BRExp)
+	}
+}
+
+// Metric selects which result field a chart or CSV column reports.
+type Metric struct {
+	Name string
+	Unit string
+	Get  func(p sweep.Point) float64
+}
+
+// Metrics returns the three figure metrics of the paper.
+func Metrics() []Metric {
+	return []Metric{
+		{Name: "throughput", Unit: "pkt/node/cycle", Get: func(p sweep.Point) float64 { return p.Result.Throughput }},
+		{Name: "latency", Unit: "cycles", Get: func(p sweep.Point) float64 { return p.Result.AvgLatency }},
+		{Name: "power", Unit: "mW", Get: func(p sweep.Point) float64 { return p.Result.PowerDynamicMW }},
+	}
+}
+
+// WriteCSV emits every point of every series with the full metric set.
+func WriteCSV(w io.Writer, series []sweep.Series) error {
+	if _, err := fmt.Fprintln(w, "pattern,mode,load,offered_pkt_node_cyc,throughput_pkt_node_cyc,avg_latency_cyc,p50_cyc,p95_cyc,p99_cyc,net_latency_cyc,power_dynamic_mw,power_supply_mw,energy_pj_per_bit,reassignments,level_ups,level_downs,shutdowns,wakes,truncated"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.Err != nil || p.Result == nil {
+				continue
+			}
+			r := p.Result
+			if _, err := fmt.Fprintf(w, "%s,%s,%.3f,%.6f,%.6f,%.1f,%.1f,%.1f,%.1f,%.1f,%.2f,%.2f,%.3f,%d,%d,%d,%d,%d,%v\n",
+				s.Pattern, s.Mode, p.Load, r.OfferedLoad, r.Throughput,
+				r.AvgLatency, r.P50Latency, r.P95Latency, r.P99Latency, r.AvgNetLatency,
+				r.PowerDynamicMW, r.PowerSupplyMW, r.EnergyPerBitPJ,
+				r.Ctrl.Reassignments, r.Ctrl.LevelUps, r.Ctrl.LevelDowns, r.Ctrl.Shutdowns, r.Wakes,
+				r.Truncated); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Chart renders one ASCII line chart: x = load, y = metric, one glyph
+// per series.
+func Chart(w io.Writer, title string, series []sweep.Series, m Metric) {
+	const width, height = 64, 16
+	glyphs := []byte{'o', '*', '+', 'x', '#', '@', '%', '&'}
+
+	var xmin, xmax, ymax float64
+	xmin, xmax = math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.Err != nil || p.Result == nil {
+				continue
+			}
+			any = true
+			v := m.Get(p)
+			if p.Load < xmin {
+				xmin = p.Load
+			}
+			if p.Load > xmax {
+				xmax = p.Load
+			}
+			if v > ymax {
+				ymax = v
+			}
+		}
+	}
+	if !any || xmax == xmin {
+		fmt.Fprintf(w, "%s: no data\n", title)
+		return
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			if p.Err != nil || p.Result == nil {
+				continue
+			}
+			x := int((p.Load - xmin) / (xmax - xmin) * float64(width-1))
+			y := int(m.Get(p) / ymax * float64(height-1))
+			row := height - 1 - y
+			grid[row][x] = g
+		}
+	}
+
+	fmt.Fprintf(w, "%s (%s, %s)\n", title, m.Name, m.Unit)
+	for i, row := range grid {
+		label := "        "
+		if i == 0 {
+			label = fmt.Sprintf("%8.3g", ymax)
+		} else if i == height-1 {
+			label = fmt.Sprintf("%8.3g", 0.0)
+		}
+		fmt.Fprintf(w, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(w, "         %s\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, "         load %.1f%s%.1f of N_c\n", xmin, strings.Repeat(" ", width-12), xmax)
+	for si, s := range series {
+		fmt.Fprintf(w, "         %c = %s\n", glyphs[si%len(glyphs)], s.Label())
+	}
+}
+
+// Figure renders the paper's per-pattern figure: the three metric charts
+// for all series of one pattern.
+func Figure(w io.Writer, name string, series []sweep.Series) {
+	for _, m := range Metrics() {
+		Chart(w, name, series, m)
+		fmt.Fprintln(w)
+	}
+}
+
+// Summary prints a one-line-per-point digest of a sweep.
+func Summary(w io.Writer, series []sweep.Series) {
+	fmt.Fprintf(w, "%-11s %-6s %5s  %10s %10s %9s %9s %9s\n",
+		"pattern", "mode", "load", "offered", "accepted", "lat(cyc)", "pwr(mW)", "supply")
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.Err != nil {
+				fmt.Fprintf(w, "%-11s %-6s %5.2f  ERROR %v\n", s.Pattern, s.Mode, p.Load, p.Err)
+				continue
+			}
+			if p.Result == nil {
+				continue
+			}
+			r := p.Result
+			trunc := ""
+			if r.Truncated {
+				trunc = " (truncated)"
+			}
+			fmt.Fprintf(w, "%-11s %-6s %5.2f  %10.5f %10.5f %9.0f %9.1f %9.1f%s\n",
+				s.Pattern, s.Mode, p.Load, r.OfferedLoad, r.Throughput, r.AvgLatency,
+				r.PowerDynamicMW, r.PowerSupplyMW, trunc)
+		}
+	}
+}

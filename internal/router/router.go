@@ -1,0 +1,521 @@
+// Package router implements the electrical intra-board interconnect
+// (IBI) of E-RAPID as a cycle-accurate input-queued virtual-channel
+// router, following the paper's Sec. 2.1 and Table 1 (SGI-Spider-style
+// parameters): per-packet route computation (RC) and virtual-channel
+// allocation (VA), per-flit switch allocation (SA) and switch traversal
+// (ST), each taking one router clock cycle, with credit-based flow
+// control and single-flit buffers by default.
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/flit"
+)
+
+// Sink consumes flits. readyAt is the first cycle the flit may be acted
+// upon downstream (arrival stamp); it must be strictly greater than the
+// sending cycle so that transfers never ripple within one cycle.
+type Sink interface {
+	PutFlit(f *flit.Flit, readyAt uint64)
+}
+
+// CreditSink consumes flow-control credits, with the same stamp rule.
+type CreditSink interface {
+	PutCredit(vc int, readyAt uint64)
+}
+
+// RouteFunc maps a packet to an output port. It is consulted once per
+// packet at RC time. It must return a valid output port; dynamic
+// bandwidth re-allocation is expressed by returning different transmitter
+// ports over time.
+type RouteFunc func(p *flit.Packet) int
+
+// VCClassFunc restricts which output VC a packet may be allocated on a
+// given output port. Returning a negative class allows any VC; a
+// non-negative class c restricts allocation to VCs v with v % classes ==
+// c, where classes is the ClassCount of the config. Deadlock-avoidance
+// schemes (e.g. dateline routing on rings/tori) are built on this hook.
+type VCClassFunc func(p *flit.Packet, outPort int) int
+
+// Config parameterizes a router.
+type Config struct {
+	Name    string
+	Inputs  int
+	Outputs int
+	// VCs is the number of virtual channels per input port.
+	VCs int
+	// BufDepth is the per-VC input buffer depth in flits (1 in Table 1).
+	BufDepth int
+	// Route computes the output port for each packet.
+	Route RouteFunc
+	// VCClass, when non-nil, restricts output VC allocation per packet
+	// (see VCClassFunc). ClassCount gives the number of classes and must
+	// divide the downstream VC count on every connected output.
+	VCClass    VCClassFunc
+	ClassCount int
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Inputs < 1 || c.Outputs < 1:
+		return fmt.Errorf("router %q: need >=1 input and output, got %d/%d", c.Name, c.Inputs, c.Outputs)
+	case c.VCs < 1:
+		return fmt.Errorf("router %q: need >=1 VC, got %d", c.Name, c.VCs)
+	case c.BufDepth < 1:
+		return fmt.Errorf("router %q: need buffer depth >=1, got %d", c.Name, c.BufDepth)
+	case c.Route == nil:
+		return fmt.Errorf("router %q: nil route function", c.Name)
+	case c.VCClass != nil && c.ClassCount < 1:
+		return fmt.Errorf("router %q: VCClass requires ClassCount >= 1", c.Name)
+	}
+	return nil
+}
+
+// OutputLink describes the channel attached to an output port.
+type OutputLink struct {
+	Sink Sink
+	// FlitCycles is the serialization time of one flit on the channel
+	// (4 cycles for a 64-bit flit on a 16-bit 400 MHz channel).
+	FlitCycles uint64
+	// ExtraDelay is additional propagation delay added to arrival stamps.
+	ExtraDelay uint64
+	// DownVCs and DownDepth describe the downstream buffer organization
+	// for credit initialization.
+	DownVCs   int
+	DownDepth int
+}
+
+type vcStage uint8
+
+const (
+	vcIdle vcStage = iota
+	vcRouting
+	vcWaitVC
+	vcActive
+)
+
+type bufEntry struct {
+	f       *flit.Flit
+	readyAt uint64
+}
+
+// inVC is the state of one input virtual channel.
+type inVC struct {
+	buf        []bufEntry
+	stage      vcStage
+	stageReady uint64
+	outPort    int
+	outVC      int
+	// vcClass restricts the VA stage (-1 = any VC).
+	vcClass int
+}
+
+type outVCState struct {
+	allocated bool
+	inPort    int
+	inVC      int
+	credits   int
+}
+
+type outPort struct {
+	link       OutputLink
+	vcs        []outVCState
+	nextFreeAt uint64
+	rrVC       int // round-robin pointer for VC allocation
+	rrIn       int // round-robin pointer for switch allocation
+	// pendingCredits are credits from downstream not yet visible.
+	pendingCredits []creditEntry
+}
+
+type creditEntry struct {
+	vc      int
+	readyAt uint64
+}
+
+// Counters aggregates router activity for tests and reports.
+type Counters struct {
+	FlitsIn     uint64
+	FlitsOut    uint64
+	PacketsOut  uint64
+	SAGrants    uint64
+	SAConflicts uint64 // cycles an input VC requested SA and lost
+	VAStalls    uint64 // cycles a header waited for an output VC
+	CreditStall uint64 // SA requests suppressed for lack of credits
+}
+
+// Router is a cycle-accurate input-queued VC router. Drive it by calling
+// Tick exactly once per cycle with a monotonically increasing cycle
+// number.
+type Router struct {
+	cfg  Config
+	ins  [][]*inVC // [port][vc]
+	outs []*outPort
+	// inputCreditSinks receive credits for freed input buffer slots.
+	inputCreditSinks []CreditSink
+	rrInVC           []int // per input port: round-robin over VCs for SA stage 1
+	ctr              Counters
+}
+
+// New builds a router from a validated config.
+func New(cfg Config) (*Router, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := &Router{cfg: cfg}
+	r.ins = make([][]*inVC, cfg.Inputs)
+	for p := range r.ins {
+		r.ins[p] = make([]*inVC, cfg.VCs)
+		for v := range r.ins[p] {
+			r.ins[p][v] = &inVC{}
+		}
+	}
+	r.outs = make([]*outPort, cfg.Outputs)
+	for p := range r.outs {
+		r.outs[p] = &outPort{}
+	}
+	r.inputCreditSinks = make([]CreditSink, cfg.Inputs)
+	r.rrInVC = make([]int, cfg.Inputs)
+	return r, nil
+}
+
+// MustNew is New for statically valid configurations.
+func MustNew(cfg Config) *Router {
+	r, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Name returns the router's configured name.
+func (r *Router) Name() string { return r.cfg.Name }
+
+// Counters returns a snapshot of activity counters.
+func (r *Router) Counters() Counters { return r.ctr }
+
+// ConnectOutput attaches a channel to output port p. Must be called for
+// every output port before the first Tick.
+func (r *Router) ConnectOutput(p int, link OutputLink) {
+	if link.Sink == nil {
+		panic(fmt.Sprintf("router %q: nil sink on output %d", r.cfg.Name, p))
+	}
+	if link.DownVCs < 1 || link.DownDepth < 1 {
+		panic(fmt.Sprintf("router %q: output %d needs downstream VCs/depth >= 1", r.cfg.Name, p))
+	}
+	if link.FlitCycles == 0 {
+		link.FlitCycles = 1
+	}
+	op := r.outs[p]
+	op.link = link
+	op.vcs = make([]outVCState, link.DownVCs)
+	for v := range op.vcs {
+		op.vcs[v].credits = link.DownDepth
+	}
+}
+
+// SetInputCreditSink registers where credits for input port p's freed
+// buffer slots are delivered (the upstream transmitter).
+func (r *Router) SetInputCreditSink(p int, cs CreditSink) {
+	r.inputCreditSinks[p] = cs
+}
+
+// inputSink adapts one input port to the Sink interface.
+type inputSink struct {
+	r    *Router
+	port int
+}
+
+// PutFlit enqueues a flit into the input buffer for its VC. The upstream
+// sender is responsible for respecting credits; overflow indicates a
+// flow-control bug and panics.
+func (s inputSink) PutFlit(f *flit.Flit, readyAt uint64) {
+	r := s.r
+	if f.VC < 0 || f.VC >= r.cfg.VCs {
+		panic(fmt.Sprintf("router %q: flit on invalid VC %d at input %d", r.cfg.Name, f.VC, s.port))
+	}
+	vc := r.ins[s.port][f.VC]
+	if len(vc.buf) >= r.cfg.BufDepth {
+		panic(fmt.Sprintf("router %q: input %d VC %d overflow (credit protocol violated)", r.cfg.Name, s.port, f.VC))
+	}
+	vc.buf = append(vc.buf, bufEntry{f: f, readyAt: readyAt})
+	r.ctr.FlitsIn++
+}
+
+// InputSink returns the flit sink for input port p.
+func (r *Router) InputSink(p int) Sink { return inputSink{r: r, port: p} }
+
+// creditSink adapts one output port to the CreditSink interface.
+type creditSink struct {
+	r    *Router
+	port int
+}
+
+// PutCredit returns one downstream buffer slot on the given VC.
+func (s creditSink) PutCredit(vc int, readyAt uint64) {
+	op := s.r.outs[s.port]
+	op.pendingCredits = append(op.pendingCredits, creditEntry{vc: vc, readyAt: readyAt})
+}
+
+// CreditSink returns the credit sink for output port p (handed to the
+// downstream receiver).
+func (r *Router) CreditSink(p int) CreditSink { return creditSink{r: r, port: p} }
+
+// Tick advances the router one cycle. now must increase by exactly one
+// between calls for utilization accounting to be meaningful.
+func (r *Router) Tick(now uint64) {
+	r.absorbCredits(now)
+	r.routeCompute(now)
+	r.vcAllocate(now)
+	r.switchAllocateAndTraverse(now)
+}
+
+// absorbCredits makes matured credits visible to the allocators.
+func (r *Router) absorbCredits(now uint64) {
+	for _, op := range r.outs {
+		if len(op.pendingCredits) == 0 {
+			continue
+		}
+		kept := op.pendingCredits[:0]
+		for _, ce := range op.pendingCredits {
+			if ce.readyAt <= now {
+				op.vcs[ce.vc].credits++
+				if op.vcs[ce.vc].credits > op.link.DownDepth {
+					panic(fmt.Sprintf("router %q: credit overflow on output", r.cfg.Name))
+				}
+			} else {
+				kept = append(kept, ce)
+			}
+		}
+		op.pendingCredits = kept
+	}
+}
+
+// routeCompute starts the RC stage for idle VCs whose head flit arrived.
+func (r *Router) routeCompute(now uint64) {
+	for p := range r.ins {
+		for v, vc := range r.ins[p] {
+			if vc.stage != vcIdle || len(vc.buf) == 0 {
+				continue
+			}
+			head := vc.buf[0]
+			if head.readyAt > now {
+				continue
+			}
+			if !head.f.IsHead() {
+				panic(fmt.Sprintf("router %q: non-head flit %v at idle VC %d.%d", r.cfg.Name, head.f, p, v))
+			}
+			out := r.cfg.Route(head.f.Packet)
+			if out < 0 || out >= r.cfg.Outputs {
+				panic(fmt.Sprintf("router %q: route for %v returned invalid port %d", r.cfg.Name, head.f.Packet, out))
+			}
+			vc.outPort = out
+			vc.vcClass = -1
+			if r.cfg.VCClass != nil {
+				vc.vcClass = r.cfg.VCClass(head.f.Packet, out)
+			}
+			vc.stage = vcWaitVC
+			vc.stageReady = now + 1 // RC occupies this cycle
+		}
+	}
+}
+
+// vcAllocate grants free output VCs to waiting headers, one per output
+// VC per cycle, with round-robin priority across input VCs.
+func (r *Router) vcAllocate(now uint64) {
+	// Gather requests per output port in a stable order.
+	type req struct{ inPort, inVC int }
+	for op := range r.outs {
+		var reqs []req
+		for p := range r.ins {
+			for v, vc := range r.ins[p] {
+				if vc.stage == vcWaitVC && vc.stageReady <= now && vc.outPort == op {
+					reqs = append(reqs, req{p, v})
+				}
+			}
+		}
+		if len(reqs) == 0 {
+			continue
+		}
+		out := r.outs[op]
+		// Grant each request the first admissible free output VC,
+		// round-robin across requesters for fairness across cycles.
+		granted := 0
+		for ri := 0; ri < len(reqs); ri++ {
+			rq := reqs[(ri+out.rrIn)%len(reqs)]
+			ivc := r.ins[rq.inPort][rq.inVC]
+			v := r.freeOutVC(out, ivc.vcClass)
+			if v < 0 {
+				continue
+			}
+			out.vcs[v] = outVCState{allocated: true, inPort: rq.inPort, inVC: rq.inVC, credits: out.vcs[v].credits}
+			ivc.outVC = v
+			ivc.stage = vcActive
+			ivc.stageReady = now + 1 // VA occupies this cycle
+			granted++
+		}
+		if granted < len(reqs) {
+			r.ctr.VAStalls += uint64(len(reqs) - granted)
+		}
+		out.rrVC = (out.rrVC + 1) % len(out.vcs)
+		out.rrIn = (out.rrIn + 1) % r.cfg.Inputs
+	}
+}
+
+// freeOutVC returns a free output VC admissible for the given class
+// (-1 = any), scanning from the output's round-robin pointer, or -1.
+func (r *Router) freeOutVC(out *outPort, class int) int {
+	n := len(out.vcs)
+	for dv := 0; dv < n; dv++ {
+		v := (out.rrVC + dv) % n
+		if out.vcs[v].allocated {
+			continue
+		}
+		if class >= 0 && v%r.cfg.ClassCount != class {
+			continue
+		}
+		return v
+	}
+	return -1
+}
+
+// switchAllocateAndTraverse performs separable SA (input stage then
+// output stage) and moves the granted flits onto their output channels.
+func (r *Router) switchAllocateAndTraverse(now uint64) {
+	// Stage 1: each input port nominates one requesting VC (round-robin).
+	type nomination struct {
+		inPort, inVC int
+		out          int
+	}
+	noms := make([]nomination, 0, len(r.ins))
+	for p := range r.ins {
+		chosen := -1
+		nvc := r.cfg.VCs
+		for dv := 0; dv < nvc; dv++ {
+			v := (r.rrInVC[p] + dv) % nvc
+			vc := r.ins[p][v]
+			if !r.saEligible(vc, now) {
+				continue
+			}
+			chosen = v
+			break
+		}
+		if chosen >= 0 {
+			noms = append(noms, nomination{inPort: p, inVC: chosen, out: r.ins[p][chosen].outPort})
+			r.rrInVC[p] = (chosen + 1) % nvc
+		}
+	}
+	// Stage 2: each output port grants one nomination (round-robin by
+	// input port index).
+	for op := range r.outs {
+		out := r.outs[op]
+		best := -1
+		bestKey := 0
+		for i, nm := range noms {
+			if nm.out != op {
+				continue
+			}
+			// Priority: smallest (inPort - rrIn) mod Inputs wins.
+			key := ((nm.inPort - out.rrIn) + r.cfg.Inputs) % r.cfg.Inputs
+			if best == -1 || key < bestKey {
+				best = i
+				bestKey = key
+			}
+		}
+		if best == -1 {
+			continue
+		}
+		// Count losers on this output as conflicts.
+		for i, nm := range noms {
+			if nm.out == op && i != best {
+				r.ctr.SAConflicts++
+			}
+		}
+		nm := noms[best]
+		r.traverse(nm.inPort, nm.inVC, now)
+		out.rrIn = (nm.inPort + 1) % r.cfg.Inputs
+	}
+}
+
+// saEligible reports whether an input VC can request the switch this
+// cycle: active, stage delay elapsed, flit present and mature, credits
+// available, and the output channel idle.
+func (r *Router) saEligible(vc *inVC, now uint64) bool {
+	if vc.stage != vcActive || vc.stageReady > now || len(vc.buf) == 0 {
+		return false
+	}
+	if vc.buf[0].readyAt > now {
+		return false
+	}
+	out := r.outs[vc.outPort]
+	if out.nextFreeAt > now {
+		return false
+	}
+	if out.vcs[vc.outVC].credits <= 0 {
+		r.ctr.CreditStall++
+		return false
+	}
+	return true
+}
+
+// traverse moves the head flit of (inPort, inVC) onto its output channel.
+func (r *Router) traverse(inPort, inVC int, now uint64) {
+	vc := r.ins[inPort][inVC]
+	entry := vc.buf[0]
+	copy(vc.buf, vc.buf[1:])
+	vc.buf = vc.buf[:len(vc.buf)-1]
+
+	out := r.outs[vc.outPort]
+	f := entry.f
+	f.VC = vc.outVC
+	out.vcs[vc.outVC].credits--
+	out.nextFreeAt = now + out.link.FlitCycles
+	arrival := now + out.link.FlitCycles + out.link.ExtraDelay
+	if arrival <= now {
+		arrival = now + 1
+	}
+	out.link.Sink.PutFlit(f, arrival)
+	r.ctr.FlitsOut++
+	r.ctr.SAGrants++
+
+	// Return the freed input buffer slot upstream (1-cycle credit delay,
+	// Table 1).
+	if cs := r.inputCreditSinks[inPort]; cs != nil {
+		cs.PutCredit(inVC, now+1)
+	}
+
+	if f.IsTail() {
+		// Release the output VC and the input VC.
+		out.vcs[vc.outVC].allocated = false
+		vc.stage = vcIdle
+		r.ctr.PacketsOut++
+	}
+}
+
+// OutputBusy reports whether output port p is serializing a flit at now.
+func (r *Router) OutputBusy(p int, now uint64) bool {
+	return r.outs[p].nextFreeAt > now
+}
+
+// BufferedFlits returns the number of flits currently buffered at input
+// port p across all VCs (for utilization statistics).
+func (r *Router) BufferedFlits(p int) int {
+	n := 0
+	for _, vc := range r.ins[p] {
+		n += len(vc.buf)
+	}
+	return n
+}
+
+// Quiescent reports whether the router holds no flits and no in-flight
+// allocations (used by drain checks in tests).
+func (r *Router) Quiescent() bool {
+	for p := range r.ins {
+		for _, vc := range r.ins[p] {
+			if len(vc.buf) > 0 || vc.stage != vcIdle {
+				return false
+			}
+		}
+	}
+	return true
+}

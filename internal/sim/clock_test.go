@@ -1,0 +1,109 @@
+package sim
+
+import "testing"
+
+// register models an edge-triggered register: Evaluate reads neighbours'
+// published state, Update commits.
+type register struct {
+	in   *register
+	cur  int
+	next int
+}
+
+func (r *register) Evaluate(Time) {
+	if r.in != nil {
+		r.next = r.in.cur + 1
+	} else {
+		r.next = r.cur // source register holds its value
+	}
+}
+func (r *register) Update(Time) { r.cur = r.next }
+
+func TestClockTwoPhaseSemantics(t *testing.T) {
+	// A 3-stage pipeline of registers. With correct two-phase semantics a
+	// value entering stage 0 reaches stage 2 after exactly 2 more cycles,
+	// independent of registration order.
+	for _, reversed := range []bool{false, true} {
+		e := NewEngine()
+		c := NewClock(e, 1)
+		r0 := &register{cur: 100}
+		r1 := &register{in: r0}
+		r2 := &register{in: r1}
+		if reversed {
+			c.Add(r2)
+			c.Add(r1)
+			c.Add(r0)
+		} else {
+			c.Add(r0)
+			c.Add(r1)
+			c.Add(r2)
+		}
+		c.Start()
+		e.RunUntil(1) // two ticks: t=0 and t=1
+		// With two-phase semantics there is no same-cycle ripple: r0's value
+		// reaches r1 on the first tick (as 101) and r2 one tick later (as
+		// 102), regardless of component registration order.
+		if r1.cur != 101 {
+			t.Fatalf("reversed=%v: r1 = %d, want 101", reversed, r1.cur)
+		}
+		if r2.cur != 102 {
+			t.Fatalf("reversed=%v: r2 = %d, want 102", reversed, r2.cur)
+		}
+	}
+}
+
+func TestClockCycleCountAndHooks(t *testing.T) {
+	e := NewEngine()
+	c := NewClock(e, 10)
+	var pre, post int
+	c.OnPreTick(func(Time) { pre++ })
+	c.OnPostTick(func(Time) { post++ })
+	c.Start()
+	e.RunUntil(95)
+	// Ticks at t = 0,10,...,90 → 10 ticks.
+	if c.Cycle() != 10 {
+		t.Fatalf("Cycle() = %d, want 10", c.Cycle())
+	}
+	if pre != 10 || post != 10 {
+		t.Fatalf("pre=%d post=%d, want 10/10", pre, post)
+	}
+}
+
+func TestClockStopsWithEngine(t *testing.T) {
+	e := NewEngine()
+	c := NewClock(e, 1)
+	c.OnPostTick(func(now Time) {
+		if now == 4 {
+			e.Stop()
+		}
+	})
+	c.Start()
+	e.Run()
+	if c.Cycle() != 5 {
+		t.Fatalf("Cycle() = %d, want 5", c.Cycle())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("clock left %d events pending after stop", e.Pending())
+	}
+}
+
+func TestClockZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewClock(period=0) did not panic")
+		}
+	}()
+	NewClock(NewEngine(), 0)
+}
+
+func TestClockDoubleStartPanics(t *testing.T) {
+	e := NewEngine()
+	c := NewClock(e, 1)
+	c.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Start did not panic")
+		}
+	}()
+	c.Start()
+}

@@ -1,0 +1,224 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel plays the role YACSIM played in the paper's evaluation: an
+// event calendar with a current virtual time, plus a process layer
+// (process.go) that lets sequential behaviours be written as blocking
+// goroutines, and a two-phase clock (clock.go) for cycle-accurate
+// hardware models.
+//
+// Determinism: events scheduled for the same time fire in scheduling
+// order (FIFO tie-break by sequence number). The engine is single
+// threaded; the process layer runs at most one goroutine at a time with
+// a strict handshake, so simulations are reproducible bit-for-bit.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is virtual simulation time. The unit is defined by the model; the
+// E-RAPID models use router clock cycles (2.5 ns at 400 MHz).
+type Time = uint64
+
+// MaxTime is the largest representable virtual time.
+const MaxTime Time = math.MaxUint64
+
+// event is a single calendar entry.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among equal times
+	fn   func()
+	idx  int // heap index, -1 when popped/cancelled
+	dead bool
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the discrete-event simulation kernel.
+//
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now      Time
+	seq      uint64
+	events   eventHeap
+	executed uint64
+	stopped  bool
+
+	// procs tracks live processes so Drain can detect leaks.
+	procs map[*Process]struct{}
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{procs: make(map[*Process]struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of scheduled (uncancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Executed returns the total number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// At schedules fn at absolute time t. Scheduling in the past panics: it is
+// always a model bug and silently reordering events would corrupt results.
+func (e *Engine) At(t Time, fn func()) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at t=%d before now=%d", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return EventID{ev}
+}
+
+// After schedules fn delay time units from now. delay may be zero; the
+// event then runs later in the current instant, after all events already
+// scheduled for this instant.
+func (e *Engine) After(delay Time, fn func()) EventID {
+	return e.At(e.now+delay, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op. It reports whether the event was
+// actually cancelled.
+func (e *Engine) Cancel(id EventID) bool {
+	ev := id.ev
+	if ev == nil || ev.dead || ev.idx < 0 {
+		return false
+	}
+	ev.dead = true
+	return true
+}
+
+// Step executes the single next event. It reports false when the calendar
+// is empty or the engine has been stopped.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.dead {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: event time ran backwards")
+		}
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the calendar is empty or the engine is
+// stopped. It returns the final virtual time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with time ≤ limit, then advances the clock to
+// limit (even if no event fired exactly there). Events scheduled exactly
+// at limit do fire.
+func (e *Engine) RunUntil(limit Time) Time {
+	for !e.stopped {
+		ev := e.peek()
+		if ev == nil || ev.at > limit {
+			break
+		}
+		e.Step()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+	return e.now
+}
+
+// peek returns the next live event without removing it, or nil.
+func (e *Engine) peek() *event {
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if !ev.dead {
+			return ev
+		}
+		heap.Pop(&e.events)
+	}
+	return nil
+}
+
+// NextEventTime returns the time of the next pending event and true, or
+// (0, false) when the calendar is empty.
+func (e *Engine) NextEventTime() (Time, bool) {
+	ev := e.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
+// Stop halts Run/RunUntil after the current event completes. Further
+// Step calls return false. Stop is how measurement drivers end open-ended
+// simulations (e.g. "run until all labelled packets drain").
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Resume clears the stopped flag so stepping can continue.
+func (e *Engine) Resume() { e.stopped = false }
+
+// Shutdown stops the engine and terminates every live process goroutine.
+// Call it when a simulation run is complete; the engine must be idle (no
+// process currently executing). After Shutdown the engine must not be
+// stepped again.
+func (e *Engine) Shutdown() {
+	e.stopped = true
+	for p := range e.procs {
+		close(p.wake)
+		delete(e.procs, p)
+	}
+}

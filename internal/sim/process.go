@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Process is a YACSIM-style simulation process: a goroutine that may
+// block on virtual time (Delay) or on Signals, while the engine runs at
+// most one goroutine at a time.
+//
+// The engine and the process goroutine exchange control through an
+// explicit two-channel handshake: the engine never advances while a
+// process is runnable, and a process never runs while the engine is
+// dispatching events. This keeps multi-process models deterministic.
+type Process struct {
+	eng      *Engine
+	name     string
+	wake     chan struct{}
+	parked   chan struct{}
+	finished bool
+	started  bool
+}
+
+// SpawnProcess creates a process and schedules its first activation at
+// the current time (after events already scheduled for this instant).
+func (e *Engine) SpawnProcess(name string, body func(p *Process)) *Process {
+	p := &Process{
+		eng:    e,
+		name:   name,
+		wake:   make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	e.procs[p] = struct{}{}
+	go func() {
+		if _, ok := <-p.wake; !ok { // wait for first activation
+			return // engine shut down before the process ever ran
+		}
+		body(p)
+		p.finished = true
+		delete(e.procs, p)
+		p.parked <- struct{}{}
+	}()
+	e.After(0, p.resume)
+	return p
+}
+
+// LiveProcesses returns the number of spawned processes that have not yet
+// returned. Useful for leak checks in tests.
+func (e *Engine) LiveProcesses() int { return len(e.procs) }
+
+// Name returns the process name given at spawn time.
+func (p *Process) Name() string { return p.name }
+
+// Finished reports whether the process body has returned.
+func (p *Process) Finished() bool { return p.finished }
+
+// Engine returns the engine this process runs on.
+func (p *Process) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Process) Now() Time { return p.eng.Now() }
+
+// resume transfers control to the process goroutine and blocks until it
+// parks again or finishes. It runs in engine (event) context.
+func (p *Process) resume() {
+	if p.finished {
+		panic(fmt.Sprintf("sim: resuming finished process %q", p.name))
+	}
+	p.started = true
+	p.wake <- struct{}{}
+	<-p.parked
+}
+
+// park blocks the process goroutine and returns control to the engine.
+// It runs in process context. A closed wake channel (engine Shutdown)
+// terminates the goroutine.
+func (p *Process) park() {
+	p.parked <- struct{}{}
+	if _, ok := <-p.wake; !ok {
+		runtime.Goexit()
+	}
+}
+
+// Delay blocks the process for d time units of virtual time. A zero
+// delay yields: other events at the current instant run first.
+func (p *Process) Delay(d Time) {
+	p.eng.After(d, p.resume)
+	p.park()
+}
+
+// WaitSignal blocks until the signal fires. If the signal fires multiple
+// times while the process is not waiting, wake-ups do not accumulate
+// (condition-variable semantics): callers must re-check their predicate.
+func (p *Process) WaitSignal(s *Signal) {
+	s.enqueue(p)
+	p.park()
+}
+
+// Signal is a named wake-up source for processes (condition-variable
+// style). Fire wakes all currently waiting processes, in wait order, at
+// the current instant.
+type Signal struct {
+	eng     *Engine
+	name    string
+	waiters []*Process
+	fires   uint64
+}
+
+// NewSignal creates a signal bound to an engine.
+func NewSignal(eng *Engine, name string) *Signal {
+	return &Signal{eng: eng, name: name}
+}
+
+// Name returns the signal's name.
+func (s *Signal) Name() string { return s.name }
+
+// Fires returns how many times the signal has fired.
+func (s *Signal) Fires() uint64 { return s.fires }
+
+// Waiting returns the number of processes currently blocked on the signal.
+func (s *Signal) Waiting() int { return len(s.waiters) }
+
+func (s *Signal) enqueue(p *Process) { s.waiters = append(s.waiters, p) }
+
+// Fire wakes every process currently waiting on the signal. Wake-ups are
+// scheduled as zero-delay events in wait order, so woken processes run at
+// the current instant but after the firing context returns to the engine.
+func (s *Signal) Fire() {
+	s.fires++
+	ws := s.waiters
+	s.waiters = nil
+	for _, p := range ws {
+		s.eng.After(0, p.resume)
+	}
+}

@@ -1,0 +1,154 @@
+package sim
+
+import "fmt"
+
+// Resource is a counted FCFS resource for processes (the YACSIM
+// "facility" primitive): Acquire blocks the calling process while all
+// units are in use; Release hands a unit to the longest-waiting process.
+type Resource struct {
+	eng      *Engine
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*Process
+
+	acquisitions uint64
+	waits        uint64
+}
+
+// NewResource creates a resource with the given number of units.
+func NewResource(eng *Engine, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic(fmt.Sprintf("sim: resource %q capacity %d < 1", name, capacity))
+	}
+	return &Resource{eng: eng, name: name, capacity: capacity}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the total units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Waiting returns the number of blocked processes.
+func (r *Resource) Waiting() int { return len(r.waiters) }
+
+// Acquisitions returns the total successful acquisitions.
+func (r *Resource) Acquisitions() uint64 { return r.acquisitions }
+
+// Waits returns how many acquisitions had to block first.
+func (r *Resource) Waits() uint64 { return r.waits }
+
+// TryAcquire takes a unit without blocking; it reports success.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse >= r.capacity {
+		return false
+	}
+	r.inUse++
+	r.acquisitions++
+	return true
+}
+
+// Acquire takes a unit, blocking the process FCFS while none is free.
+func (r *Resource) Acquire(p *Process) {
+	if r.TryAcquire() {
+		return
+	}
+	r.waits++
+	r.waiters = append(r.waiters, p)
+	p.park()
+	// Ownership was transferred by Release before the wake-up.
+}
+
+// Release returns a unit. If processes are waiting, the unit passes
+// directly to the head of the queue (its wake-up is scheduled at the
+// current instant).
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic(fmt.Sprintf("sim: resource %q released more than acquired", r.name))
+	}
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		copy(r.waiters, r.waiters[1:])
+		r.waiters = r.waiters[:len(r.waiters)-1]
+		r.acquisitions++
+		r.eng.After(0, next.resume)
+		return
+	}
+	r.inUse--
+}
+
+// Mailbox is a FIFO message queue with blocking receive for processes
+// (the YACSIM mailbox primitive). Senders never block.
+type Mailbox[T any] struct {
+	eng   *Engine
+	name  string
+	items []T
+	sig   *Signal
+}
+
+// NewMailbox creates an empty mailbox.
+func NewMailbox[T any](eng *Engine, name string) *Mailbox[T] {
+	return &Mailbox[T]{eng: eng, name: name, sig: NewSignal(eng, name+".sig")}
+}
+
+// Name returns the mailbox name.
+func (m *Mailbox[T]) Name() string { return m.name }
+
+// Len returns the number of queued messages.
+func (m *Mailbox[T]) Len() int { return len(m.items) }
+
+// Put enqueues a message and wakes any waiting receivers.
+func (m *Mailbox[T]) Put(v T) {
+	m.items = append(m.items, v)
+	m.sig.Fire()
+}
+
+// PutAfter enqueues a message after a delay (a message in flight).
+func (m *Mailbox[T]) PutAfter(delay Time, v T) {
+	m.eng.After(delay, func() { m.Put(v) })
+}
+
+// TryReceive dequeues the head message without blocking.
+func (m *Mailbox[T]) TryReceive() (T, bool) {
+	var zero T
+	if len(m.items) == 0 {
+		return zero, false
+	}
+	v := m.items[0]
+	copy(m.items, m.items[1:])
+	m.items[len(m.items)-1] = zero
+	m.items = m.items[:len(m.items)-1]
+	return v, true
+}
+
+// Receive dequeues the head message, blocking the process until one is
+// available.
+func (m *Mailbox[T]) Receive(p *Process) T {
+	for {
+		if v, ok := m.TryReceive(); ok {
+			return v
+		}
+		p.WaitSignal(m.sig)
+	}
+}
+
+// ReceiveMatch dequeues the first message satisfying pred, blocking until
+// one arrives. Non-matching messages stay queued in order.
+func (m *Mailbox[T]) ReceiveMatch(p *Process, pred func(T) bool) T {
+	for {
+		for i, v := range m.items {
+			if pred(v) {
+				var zero T
+				copy(m.items[i:], m.items[i+1:])
+				m.items[len(m.items)-1] = zero
+				m.items = m.items[:len(m.items)-1]
+				return v
+			}
+		}
+		p.WaitSignal(m.sig)
+	}
+}

@@ -1,0 +1,197 @@
+package sim
+
+import "testing"
+
+func TestResourceSerializesProcesses(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "server", 1)
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		e.SpawnProcess(name, func(p *Process) {
+			r.Acquire(p)
+			order = append(order, name+"+")
+			p.Delay(10)
+			order = append(order, name+"-")
+			r.Release()
+		})
+	}
+	e.Run()
+	want := []string{"a+", "a-", "b+", "b-", "c+", "c-"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v (FCFS violated)", order, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final time = %d, want 30 (serialized service)", e.Now())
+	}
+	if r.Acquisitions() != 3 || r.Waits() != 2 {
+		t.Fatalf("acquisitions=%d waits=%d, want 3/2", r.Acquisitions(), r.Waits())
+	}
+	if r.InUse() != 0 || r.Waiting() != 0 {
+		t.Fatalf("resource not idle after drain: %d/%d", r.InUse(), r.Waiting())
+	}
+}
+
+func TestResourceCapacityTwoOverlaps(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "duo", 2)
+	var finished []Time
+	for i := 0; i < 4; i++ {
+		e.SpawnProcess("p", func(p *Process) {
+			r.Acquire(p)
+			p.Delay(10)
+			r.Release()
+			finished = append(finished, p.Now())
+		})
+	}
+	e.Run()
+	// Two at a time: finish times 10,10,20,20.
+	want := []Time{10, 10, 20, 20}
+	for i := range want {
+		if finished[i] != want[i] {
+			t.Fatalf("finished = %v, want %v", finished, want)
+		}
+	}
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "one", 1)
+	if !r.TryAcquire() {
+		t.Fatal("TryAcquire failed on free resource")
+	}
+	if r.TryAcquire() {
+		t.Fatal("TryAcquire succeeded on full resource")
+	}
+	r.Release()
+	if !r.TryAcquire() {
+		t.Fatal("TryAcquire failed after release")
+	}
+}
+
+func TestResourceOverReleasePanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "x", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	r.Release()
+}
+
+func TestResourceInvalidCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 did not panic")
+		}
+	}()
+	NewResource(NewEngine(), "bad", 0)
+}
+
+func TestMailboxFIFO(t *testing.T) {
+	e := NewEngine()
+	mb := NewMailbox[int](e, "mb")
+	var got []int
+	e.SpawnProcess("recv", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			got = append(got, mb.Receive(p))
+		}
+	})
+	e.SpawnProcess("send", func(p *Process) {
+		for i := 1; i <= 3; i++ {
+			p.Delay(5)
+			mb.Put(i * 10)
+		}
+	})
+	e.Run()
+	want := []int{10, 20, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 15 {
+		t.Fatalf("final time = %d, want 15", e.Now())
+	}
+}
+
+func TestMailboxPutAfter(t *testing.T) {
+	e := NewEngine()
+	mb := NewMailbox[string](e, "mb")
+	var at Time
+	e.SpawnProcess("recv", func(p *Process) {
+		mb.Receive(p)
+		at = p.Now()
+	})
+	mb.PutAfter(42, "hello")
+	e.Run()
+	if at != 42 {
+		t.Fatalf("received at %d, want 42", at)
+	}
+}
+
+func TestMailboxTryReceive(t *testing.T) {
+	e := NewEngine()
+	mb := NewMailbox[int](e, "mb")
+	if _, ok := mb.TryReceive(); ok {
+		t.Fatal("TryReceive on empty mailbox succeeded")
+	}
+	mb.Put(7)
+	if v, ok := mb.TryReceive(); !ok || v != 7 {
+		t.Fatalf("TryReceive = %d,%v", v, ok)
+	}
+	if mb.Len() != 0 {
+		t.Fatal("mailbox not empty")
+	}
+}
+
+func TestMailboxReceiveMatch(t *testing.T) {
+	e := NewEngine()
+	mb := NewMailbox[int](e, "mb")
+	var got []int
+	e.SpawnProcess("recv", func(p *Process) {
+		got = append(got, mb.ReceiveMatch(p, func(v int) bool { return v%2 == 0 }))
+		got = append(got, mb.Receive(p)) // the skipped odd message, still queued
+	})
+	e.SpawnProcess("send", func(p *Process) {
+		mb.Put(1) // does not match; must stay queued in order
+		p.Delay(3)
+		mb.Put(2)
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("got %v, want [2 1]", got)
+	}
+}
+
+func TestMailboxMultipleReceiversFCFSByWaitOrder(t *testing.T) {
+	e := NewEngine()
+	mb := NewMailbox[int](e, "mb")
+	var got []string
+	for _, name := range []string{"r1", "r2"} {
+		name := name
+		e.SpawnProcess(name, func(p *Process) {
+			v := mb.Receive(p)
+			got = append(got, name+":"+string(rune('0'+v)))
+		})
+	}
+	e.SpawnProcess("send", func(p *Process) {
+		p.Delay(1)
+		mb.Put(1)
+		p.Delay(1)
+		mb.Put(2)
+	})
+	e.Run()
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if got[0] != "r1:1" || got[1] != "r2:2" {
+		t.Fatalf("got %v, want [r1:1 r2:2]", got)
+	}
+}

@@ -1,0 +1,79 @@
+package sweep
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/traffic"
+)
+
+func TestReplicateAggregates(t *testing.T) {
+	reps, err := Replicate(ReplicateRequest{
+		Base:    fastBase(),
+		Pattern: traffic.Uniform,
+		Mode:    core.NPNB,
+		Loads:   []float64{0.2, 0.4},
+		Seeds:   []uint64{1, 2, 3, 4},
+		Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("got %d aggregates", len(reps))
+	}
+	for _, r := range reps {
+		if len(r.Runs) != 4 || r.Throughput.N() != 4 {
+			t.Fatalf("load %v: %d runs aggregated", r.Load, r.Throughput.N())
+		}
+		mean, half := r.ThroughputCI95()
+		if mean <= 0 {
+			t.Fatalf("load %v: zero mean throughput", r.Load)
+		}
+		// Different seeds give different draws: some spread, but far less
+		// than the mean at these loads.
+		if half <= 0 || half > mean*0.5 {
+			t.Fatalf("load %v: CI half-width %v implausible for mean %v", r.Load, half, mean)
+		}
+		if lm, _ := r.LatencyCI95(); lm <= 0 {
+			t.Fatalf("load %v: zero mean latency", r.Load)
+		}
+		if pm, _ := r.PowerCI95(); pm <= 0 {
+			t.Fatalf("load %v: zero mean power", r.Load)
+		}
+	}
+	// Throughput rises with load across aggregates.
+	if reps[1].Throughput.Mean() <= reps[0].Throughput.Mean() {
+		t.Fatal("aggregate throughput not increasing with load")
+	}
+}
+
+func TestReplicateValidation(t *testing.T) {
+	if _, err := Replicate(ReplicateRequest{Base: fastBase()}); err == nil {
+		t.Fatal("empty request accepted")
+	}
+	bad := fastBase()
+	bad.NodesPerBoard = 3
+	if _, err := Replicate(ReplicateRequest{
+		Base: bad, Pattern: traffic.Complement, Mode: core.NPNB,
+		Loads: []float64{0.2}, Seeds: []uint64{1},
+	}); err == nil {
+		t.Fatal("invalid config did not propagate error")
+	}
+}
+
+func TestReplicateSingleSeedHasZeroCI(t *testing.T) {
+	reps, err := Replicate(ReplicateRequest{
+		Base:    fastBase(),
+		Pattern: traffic.Uniform,
+		Mode:    core.NPNB,
+		Loads:   []float64{0.3},
+		Seeds:   []uint64{7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, half := reps[0].ThroughputCI95(); half != 0 {
+		t.Fatalf("single-seed CI half-width = %v, want 0", half)
+	}
+}

@@ -1,0 +1,167 @@
+// Package sweep runs batches of independent simulations in parallel and
+// assembles them into the figure series of the paper's evaluation
+// (throughput / latency / power versus offered load, per traffic pattern
+// and network mode).
+//
+// Each simulation owns its engine, fabric and RNG streams, so runs are
+// embarrassingly parallel across goroutines while each run stays
+// bit-deterministic.
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Point is one (config, result) pair of a sweep.
+type Point struct {
+	Load   float64
+	Result *core.Result
+	Err    error
+}
+
+// Series is one curve of a figure: a mode/pattern combination across
+// loads.
+type Series struct {
+	Mode    core.Mode
+	Pattern string
+	Points  []Point
+}
+
+// Label returns the curve's legend label.
+func (s Series) Label() string { return fmt.Sprintf("%s/%s", s.Mode, s.Pattern) }
+
+// Loads returns the paper's load axis: start..end inclusive in steps.
+func Loads(start, end, step float64) []float64 {
+	if step <= 0 || end < start {
+		panic(fmt.Sprintf("sweep: invalid load range [%v,%v] step %v", start, end, step))
+	}
+	var ls []float64
+	for x := start; x <= end+1e-9; x += step {
+		// Round to 3 decimals to keep labels exact (0.1, 0.2, ...).
+		ls = append(ls, float64(int(x*1000+0.5))/1000)
+	}
+	return ls
+}
+
+// PaperLoads returns 0.1 .. 0.9 in steps of 0.1 (Sec. 4).
+func PaperLoads() []float64 { return Loads(0.1, 0.9, 0.1) }
+
+// Request describes a sweep: the cartesian product of patterns, modes
+// and loads over a base configuration.
+type Request struct {
+	Base     core.Config
+	Patterns []string
+	Modes    []core.Mode
+	Loads    []float64
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// OnResult, if set, is called as each run finishes (progress
+	// reporting). It may be called from multiple goroutines.
+	OnResult func(Series, Point)
+}
+
+// Run executes the sweep and returns one series per (pattern, mode), in
+// request order, with points ordered by load.
+func Run(req Request) []Series {
+	if len(req.Patterns) == 0 || len(req.Modes) == 0 || len(req.Loads) == 0 {
+		return nil
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type job struct {
+		si, pi int
+		load   float64
+	}
+	series := make([]Series, 0, len(req.Patterns)*len(req.Modes))
+	var jobs []job
+	for _, pat := range req.Patterns {
+		for _, mode := range req.Modes {
+			si := len(series)
+			series = append(series, Series{
+				Mode:    mode,
+				Pattern: pat,
+				Points:  make([]Point, len(req.Loads)),
+			})
+			for pi, load := range req.Loads {
+				jobs = append(jobs, job{si: si, pi: pi, load: load})
+			}
+		}
+	}
+
+	var (
+		wg   sync.WaitGroup
+		next = make(chan job)
+		mu   sync.Mutex
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range next {
+				s := &series[j.si]
+				cfg := req.Base
+				cfg.Mode = s.Mode
+				cfg.Pattern = s.Pattern
+				cfg.Load = j.load
+				res, err := core.Run(cfg)
+				pt := Point{Load: j.load, Result: res, Err: err}
+				mu.Lock()
+				s.Points[j.pi] = pt
+				mu.Unlock()
+				if req.OnResult != nil {
+					req.OnResult(*s, pt)
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		next <- j
+	}
+	close(next)
+	wg.Wait()
+	return series
+}
+
+// Errs collects the errors across all points of all series.
+func Errs(series []Series) []error {
+	var errs []error
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.Err != nil {
+				errs = append(errs, fmt.Errorf("%s load %.2f: %w", s.Label(), p.Load, p.Err))
+			}
+		}
+	}
+	return errs
+}
+
+// SaturationLoad estimates the saturation point of a series: the lowest
+// load whose accepted throughput falls below 95% of offered, or +Inf
+// when the series never saturates.
+func SaturationLoad(s Series) float64 {
+	loads := make([]float64, 0, len(s.Points))
+	byLoad := map[float64]*core.Result{}
+	for _, p := range s.Points {
+		if p.Err != nil || p.Result == nil {
+			continue
+		}
+		loads = append(loads, p.Load)
+		byLoad[p.Load] = p.Result
+	}
+	sort.Float64s(loads)
+	for _, l := range loads {
+		if byLoad[l].Saturated() {
+			return l
+		}
+	}
+	return math.Inf(1)
+}

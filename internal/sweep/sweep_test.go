@@ -1,0 +1,145 @@
+package sweep
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/traffic"
+)
+
+func fastBase() core.Config {
+	cfg := core.DefaultConfig(core.NPNB)
+	cfg.Boards = 4
+	cfg.NodesPerBoard = 4
+	cfg.Window = 500
+	cfg.WarmupCycles = 1500
+	cfg.MeasureCycles = 1500
+	cfg.DrainLimitCycles = 30000
+	return cfg
+}
+
+func TestLoads(t *testing.T) {
+	ls := PaperLoads()
+	if len(ls) != 9 {
+		t.Fatalf("PaperLoads has %d points, want 9", len(ls))
+	}
+	if ls[0] != 0.1 || ls[8] != 0.9 {
+		t.Fatalf("PaperLoads = %v", ls)
+	}
+	if got := Loads(0.2, 0.6, 0.2); len(got) != 3 || got[2] != 0.6 {
+		t.Fatalf("Loads(0.2,0.6,0.2) = %v", got)
+	}
+}
+
+func TestLoadsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid range did not panic")
+		}
+	}()
+	Loads(0.5, 0.1, 0.1)
+}
+
+func TestRunProducesAllPoints(t *testing.T) {
+	var done atomic.Int64
+	series := Run(Request{
+		Base:     fastBase(),
+		Patterns: []string{traffic.Uniform, traffic.Complement},
+		Modes:    []core.Mode{core.NPNB, core.PB},
+		Loads:    []float64{0.2, 0.4},
+		Workers:  4,
+		OnResult: func(Series, Point) { done.Add(1) },
+	})
+	if len(series) != 4 {
+		t.Fatalf("got %d series, want 4", len(series))
+	}
+	if done.Load() != 8 {
+		t.Fatalf("OnResult called %d times, want 8", done.Load())
+	}
+	if errs := Errs(series); len(errs) != 0 {
+		t.Fatalf("sweep errors: %v", errs)
+	}
+	for _, s := range series {
+		if len(s.Points) != 2 {
+			t.Fatalf("%s: %d points, want 2", s.Label(), len(s.Points))
+		}
+		for i, p := range s.Points {
+			if p.Result == nil {
+				t.Fatalf("%s point %d missing result", s.Label(), i)
+			}
+			if p.Result.Mode != s.Mode || p.Result.Pattern != s.Pattern {
+				t.Fatalf("%s point %d carries wrong identity %v/%v", s.Label(), i, p.Result.Mode, p.Result.Pattern)
+			}
+		}
+		// Points ordered by load as requested.
+		if s.Points[0].Load != 0.2 || s.Points[1].Load != 0.4 {
+			t.Fatalf("%s: point loads %v,%v", s.Label(), s.Points[0].Load, s.Points[1].Load)
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	req := Request{
+		Base:     fastBase(),
+		Patterns: []string{traffic.Uniform},
+		Modes:    []core.Mode{core.PB},
+		Loads:    []float64{0.2, 0.5},
+	}
+	req.Workers = 1
+	serial := Run(req)
+	req.Workers = 8
+	parallel := Run(req)
+	for i := range serial {
+		for j := range serial[i].Points {
+			a, b := serial[i].Points[j].Result, parallel[i].Points[j].Result
+			if a.Throughput != b.Throughput || a.AvgLatency != b.AvgLatency || a.PowerDynamicMW != b.PowerDynamicMW {
+				t.Fatalf("parallel run diverged from serial at %s load %v", serial[i].Label(), serial[i].Points[j].Load)
+			}
+		}
+	}
+}
+
+func TestSweepCarriesErrors(t *testing.T) {
+	base := fastBase()
+	base.NodesPerBoard = 3 // complement needs power-of-two nodes → error
+	series := Run(Request{
+		Base:     base,
+		Patterns: []string{traffic.Complement},
+		Modes:    []core.Mode{core.NPNB},
+		Loads:    []float64{0.2},
+	})
+	if errs := Errs(series); len(errs) != 1 {
+		t.Fatalf("expected 1 error, got %v", errs)
+	}
+}
+
+func TestSaturationLoad(t *testing.T) {
+	series := Run(Request{
+		Base:     fastBase(),
+		Patterns: []string{traffic.Complement},
+		Modes:    []core.Mode{core.NPNB},
+		Loads:    []float64{0.1, 0.5, 0.9},
+	})
+	// Complement saturates the static network at low loads.
+	sat := SaturationLoad(series[0])
+	if sat > 0.9 {
+		t.Fatalf("complement NP-NB never saturated (sat=%v)", sat)
+	}
+	// A barely loaded uniform system does not saturate.
+	uni := Run(Request{
+		Base:     fastBase(),
+		Patterns: []string{traffic.Uniform},
+		Modes:    []core.Mode{core.NPNB},
+		Loads:    []float64{0.1, 0.2},
+	})
+	if sat := SaturationLoad(uni[0]); sat < 1 {
+		t.Fatalf("uniform saturated at %v with loads <= 0.2", sat)
+	}
+}
+
+func TestEmptyRequest(t *testing.T) {
+	if got := Run(Request{Base: fastBase()}); got != nil {
+		t.Fatalf("empty request produced %v", got)
+	}
+}

@@ -1,0 +1,157 @@
+// Package topology describes E-RAPID systems and their static routing
+// and wavelength assignment (RWA).
+//
+// An E-RAPID network is a 3-tuple (C, B, D): C clusters, B boards per
+// cluster, D nodes per board (paper Sec. 2). Boards within a cluster are
+// fully connected through the Scalable Remote Optical Super-Highway
+// (SRS): board s reaches board d on wavelength
+//
+//	w(s,d) = (s - d) mod B,  s ≠ d
+//
+// which reproduces the paper's piecewise definition (λ_{B-(d-s)} for
+// d > s and λ_{s-d} for s > d). Wavelength 0 would map a board onto
+// itself and is therefore never statically assigned; intra-board traffic
+// stays in the electrical domain.
+package topology
+
+import "fmt"
+
+// Topology is an immutable description of an E-RAPID system.
+type Topology struct {
+	clusters int
+	boards   int // boards per cluster
+	nodes    int // nodes per board
+}
+
+// New validates and builds a topology. The evaluated systems use C = 1;
+// multi-cluster systems are representable but the simulator assembles
+// one cluster at a time (matching the paper's evaluation).
+func New(clusters, boards, nodes int) (*Topology, error) {
+	switch {
+	case clusters < 1:
+		return nil, fmt.Errorf("topology: clusters = %d, need >= 1", clusters)
+	case boards < 2:
+		return nil, fmt.Errorf("topology: boards = %d, need >= 2 (SRS requires at least two boards)", boards)
+	case nodes < 1:
+		return nil, fmt.Errorf("topology: nodes per board = %d, need >= 1", nodes)
+	}
+	return &Topology{clusters: clusters, boards: boards, nodes: nodes}, nil
+}
+
+// MustNew is New for static configurations known to be valid.
+func MustNew(clusters, boards, nodes int) *Topology {
+	t, err := New(clusters, boards, nodes)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Clusters returns C.
+func (t *Topology) Clusters() int { return t.clusters }
+
+// Boards returns B, the boards per cluster.
+func (t *Topology) Boards() int { return t.boards }
+
+// NodesPerBoard returns D.
+func (t *Topology) NodesPerBoard() int { return t.nodes }
+
+// TotalNodes returns C*B*D.
+func (t *Topology) TotalNodes() int { return t.clusters * t.boards * t.nodes }
+
+// NodesPerCluster returns B*D.
+func (t *Topology) NodesPerCluster() int { return t.boards * t.nodes }
+
+// Wavelengths returns the number of usable inter-board wavelengths per
+// cluster: λ_1 .. λ_{B-1} (λ_0 would be a board-to-self channel).
+func (t *Topology) Wavelengths() int { return t.boards - 1 }
+
+// String implements fmt.Stringer using the paper's R(C,B,D) notation.
+func (t *Topology) String() string {
+	return fmt.Sprintf("R(%d,%d,%d)", t.clusters, t.boards, t.nodes)
+}
+
+// Board returns the board (within its cluster) hosting global node id n.
+func (t *Topology) Board(n int) int {
+	t.checkNode(n)
+	return (n / t.nodes) % t.boards
+}
+
+// Cluster returns the cluster hosting global node id n.
+func (t *Topology) Cluster(n int) int {
+	t.checkNode(n)
+	return n / (t.boards * t.nodes)
+}
+
+// Local returns the node's index within its board.
+func (t *Topology) Local(n int) int {
+	t.checkNode(n)
+	return n % t.nodes
+}
+
+// NodeID returns the global node id for (cluster, board, local).
+func (t *Topology) NodeID(cluster, board, local int) int {
+	if cluster < 0 || cluster >= t.clusters || board < 0 || board >= t.boards ||
+		local < 0 || local >= t.nodes {
+		panic(fmt.Sprintf("topology: NodeID(%d,%d,%d) out of range for %s", cluster, board, local, t))
+	}
+	return (cluster*t.boards+board)*t.nodes + local
+}
+
+func (t *Topology) checkNode(n int) {
+	if n < 0 || n >= t.TotalNodes() {
+		panic(fmt.Sprintf("topology: node %d out of range for %s", n, t))
+	}
+}
+
+// Wavelength returns the statically assigned wavelength for inter-board
+// communication from board s to board d within a cluster. It panics for
+// s == d (intra-board traffic is electrical, not optical).
+func (t *Topology) Wavelength(s, d int) int {
+	t.checkBoard(s)
+	t.checkBoard(d)
+	if s == d {
+		panic(fmt.Sprintf("topology: Wavelength(%d,%d): no optical channel to self", s, d))
+	}
+	return ((s-d)%t.boards + t.boards) % t.boards
+}
+
+// StaticOwner returns the board that statically owns the incoming channel
+// (d, w): the unique source board s with Wavelength(s, d) == w. It panics
+// for w == 0 or w out of range.
+func (t *Topology) StaticOwner(d, w int) int {
+	t.checkBoard(d)
+	if w <= 0 || w >= t.boards {
+		panic(fmt.Sprintf("topology: StaticOwner(d=%d, w=%d): wavelength out of 1..%d", d, w, t.boards-1))
+	}
+	return (d + w) % t.boards
+}
+
+func (t *Topology) checkBoard(b int) {
+	if b < 0 || b >= t.boards {
+		panic(fmt.Sprintf("topology: board %d out of range for %s", b, t))
+	}
+}
+
+// ChannelID flattens an incoming channel (destination board d, wavelength
+// w) to a dense index in [0, B*(B-1)): useful as a map-free table key.
+func (t *Topology) ChannelID(d, w int) int {
+	t.checkBoard(d)
+	if w <= 0 || w >= t.boards {
+		panic(fmt.Sprintf("topology: ChannelID(d=%d, w=%d): wavelength out of range", d, w))
+	}
+	return d*(t.boards-1) + (w - 1)
+}
+
+// ChannelFromID inverts ChannelID.
+func (t *Topology) ChannelFromID(id int) (d, w int) {
+	n := t.boards * (t.boards - 1)
+	if id < 0 || id >= n {
+		panic(fmt.Sprintf("topology: channel id %d out of range [0,%d)", id, n))
+	}
+	return id / (t.boards - 1), id%(t.boards-1) + 1
+}
+
+// NumChannels returns the number of optical channels per cluster:
+// B destinations × (B-1) wavelengths.
+func (t *Topology) NumChannels() int { return t.boards * (t.boards - 1) }

@@ -1,0 +1,164 @@
+// Package trace records packet-lifecycle and reconfiguration events
+// into a bounded ring buffer, for debugging models and for inspecting
+// individual packet journeys through the electrical and optical domains
+// (cmd/erapid -journey).
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/flit"
+)
+
+// Kind classifies trace events.
+type Kind uint8
+
+const (
+	// Inject: the packet entered its source NIC queue.
+	Inject Kind = iota
+	// NetEnter: the head flit left the source queue into the IBI.
+	NetEnter
+	// LaserEnqueue: the reassembled packet joined a laser transmit queue.
+	LaserEnqueue
+	// LaserTransmit: optical serialization started.
+	LaserTransmit
+	// OpticalArrive: the packet completed the optical hop.
+	OpticalArrive
+	// Deliver: the tail flit reached the destination node.
+	Deliver
+	// Reassign: a channel changed holders (DBR).
+	Reassign
+
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Inject:
+		return "inject"
+	case NetEnter:
+		return "net-enter"
+	case LaserEnqueue:
+		return "laser-enqueue"
+	case LaserTransmit:
+		return "laser-transmit"
+	case OpticalArrive:
+		return "optical-arrive"
+	case Deliver:
+		return "deliver"
+	case Reassign:
+		return "reassign"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one trace record. Packet-less events (Reassign) carry zero
+// PacketID.
+type Event struct {
+	Cycle  uint64
+	Kind   Kind
+	Packet flit.PacketID
+	// Board / Wavelength / Dest identify the optical element involved
+	// (source board, λ index, destination board), -1 when not applicable.
+	Board      int
+	Wavelength int
+	Dest       int
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	base := fmt.Sprintf("%8d %-14s", e.Cycle, e.Kind)
+	if e.Packet != 0 {
+		base += fmt.Sprintf(" pkt#%-6d", e.Packet)
+	} else {
+		base += "           "
+	}
+	if e.Wavelength >= 0 {
+		base += fmt.Sprintf(" board %d λ%d → %d", e.Board, e.Wavelength, e.Dest)
+	} else if e.Board >= 0 {
+		base += fmt.Sprintf(" board %d", e.Board)
+	}
+	return base
+}
+
+// Tracer is a bounded ring buffer of events. The zero value is unusable;
+// construct with New. Recording is O(1); a full ring overwrites the
+// oldest events.
+type Tracer struct {
+	ring   []Event
+	next   int
+	filled bool
+	counts [numKinds]uint64
+	// Filter, when non-nil, drops events for which it returns false.
+	Filter func(Event) bool
+}
+
+// New creates a tracer holding up to capacity events.
+func New(capacity int) *Tracer {
+	if capacity < 1 {
+		panic(fmt.Sprintf("trace: capacity %d < 1", capacity))
+	}
+	return &Tracer{ring: make([]Event, capacity)}
+}
+
+// Record appends an event (subject to the filter).
+func (t *Tracer) Record(ev Event) {
+	if t.Filter != nil && !t.Filter(ev) {
+		return
+	}
+	if ev.Kind < numKinds {
+		t.counts[ev.Kind]++
+	}
+	t.ring[t.next] = ev
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.filled = true
+	}
+}
+
+// Count returns how many events of a kind were recorded (including ones
+// already overwritten).
+func (t *Tracer) Count(k Kind) uint64 {
+	if k >= numKinds {
+		return 0
+	}
+	return t.counts[k]
+}
+
+// Events returns the buffered events in record order.
+func (t *Tracer) Events() []Event {
+	if !t.filled {
+		out := make([]Event, t.next)
+		copy(out, t.ring[:t.next])
+		return out
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Journey returns the buffered events of one packet, in order.
+func (t *Tracer) Journey(id flit.PacketID) []Event {
+	var out []Event
+	for _, ev := range t.Events() {
+		if ev.Packet == id {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Dump writes the buffered events as text.
+func (t *Tracer) Dump(w io.Writer) error {
+	for _, ev := range t.Events() {
+		if _, err := fmt.Fprintln(w, ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

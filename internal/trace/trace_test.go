@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRingBufferOrder(t *testing.T) {
+	tr := New(4)
+	for i := 1; i <= 3; i++ {
+		tr.Record(Event{Cycle: uint64(i), Kind: Inject, Packet: 1})
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Cycle != uint64(i+1) {
+			t.Fatalf("order wrong: %v", evs)
+		}
+	}
+}
+
+func TestRingBufferOverwritesOldest(t *testing.T) {
+	tr := New(3)
+	for i := 1; i <= 5; i++ {
+		tr.Record(Event{Cycle: uint64(i), Kind: Deliver})
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	if evs[0].Cycle != 3 || evs[2].Cycle != 5 {
+		t.Fatalf("ring kept wrong window: %v", evs)
+	}
+	if tr.Count(Deliver) != 5 {
+		t.Fatalf("Count = %d, want 5 (counts survive overwrite)", tr.Count(Deliver))
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tr := New(8)
+	tr.Filter = func(ev Event) bool { return ev.Kind == Deliver }
+	tr.Record(Event{Kind: Inject})
+	tr.Record(Event{Kind: Deliver})
+	if len(tr.Events()) != 1 || tr.Count(Inject) != 0 {
+		t.Fatal("filter not applied")
+	}
+}
+
+func TestJourney(t *testing.T) {
+	tr := New(16)
+	tr.Record(Event{Cycle: 1, Kind: Inject, Packet: 7})
+	tr.Record(Event{Cycle: 2, Kind: Inject, Packet: 8})
+	tr.Record(Event{Cycle: 3, Kind: NetEnter, Packet: 7})
+	tr.Record(Event{Cycle: 9, Kind: Deliver, Packet: 7})
+	j := tr.Journey(7)
+	if len(j) != 3 {
+		t.Fatalf("journey = %v", j)
+	}
+	if j[0].Kind != Inject || j[1].Kind != NetEnter || j[2].Kind != Deliver {
+		t.Fatalf("journey order = %v", j)
+	}
+}
+
+func TestDumpAndStrings(t *testing.T) {
+	tr := New(4)
+	tr.Record(Event{Cycle: 5, Kind: LaserTransmit, Packet: 3, Board: 1, Wavelength: 2, Dest: 0})
+	tr.Record(Event{Cycle: 6, Kind: Reassign, Board: 0, Wavelength: 1, Dest: 7})
+	var b strings.Builder
+	if err := tr.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "laser-transmit") || !strings.Contains(out, "λ2") {
+		t.Fatalf("dump missing fields:\n%s", out)
+	}
+	if !strings.Contains(out, "reassign") {
+		t.Fatalf("dump missing reassign:\n%s", out)
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "" || strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("Kind(%d) has no name", k)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
