@@ -17,6 +17,7 @@ import (
 
 	erapid "repro"
 	"repro/internal/core"
+	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/sweep"
 )
@@ -35,7 +36,15 @@ func main() {
 		nodes    = flag.Int("nodes", 8, "nodes per board D")
 		seed     = flag.Uint64("seed", 1, "random seed")
 	)
+	profFlags := prof.AddFlags()
 	flag.Parse()
+
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	pats, err := pickPatterns(*figure, *patterns)
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	erapid "repro"
 	"repro/internal/core"
 	"repro/internal/flit"
+	"repro/internal/prof"
 	"repro/internal/trace"
 )
 
@@ -38,7 +39,15 @@ func main() {
 		dump    = flag.String("dump-config", "", "write the effective config as JSON and exit")
 		journey = flag.Int("journey", 0, "after the run, print the traced journeys of N delivered packets")
 	)
+	profFlags := prof.AddFlags()
 	flag.Parse()
+
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	m, err := erapid.ParseMode(*mode)
 	if err != nil {

@@ -31,6 +31,12 @@ type System struct {
 	nics      []*link.PacketSource // indexed by global node id
 	nextPkt   flit.PacketID
 
+	// routeWS is the route choice's reusable wavelength scratch buffer.
+	routeWS []int
+	// freePkts recycles delivered, untraced packets (and their flit
+	// slabs) so the steady-state injection path allocates nothing.
+	freePkts []*flit.Packet
+
 	injected  uint64
 	delivered uint64
 	// deliveredPerNode counts measurement-phase deliveries per destination
@@ -223,7 +229,8 @@ func (s *System) routeFunc(bd *board) router.RouteFunc {
 		if p.DstBoard == bd.idx {
 			return top.Local(p.Dst)
 		}
-		ws := s.fab.HoldersToward(bd.idx, p.DstBoard)
+		ws := s.fab.AppendHoldersToward(s.routeWS[:0], bd.idx, p.DstBoard)
+		s.routeWS = ws
 		if len(ws) == 0 {
 			return d + top.Wavelength(bd.idx, p.DstBoard) - 1
 		}
@@ -252,6 +259,12 @@ func (s *System) onDeliver(p *flit.Packet, now uint64) {
 		s.tracer.Record(trace.Event{Cycle: now, Kind: trace.Deliver, Packet: p.ID, Board: p.DstBoard, Wavelength: -1, Dest: -1})
 	}
 	s.meas.OnDeliver(p.Labeled, p.Latency(), p.NetworkLatency())
+	// A delivered packet is fully consumed (all flits reassembled, stats
+	// recorded); recycle it unless a tracer may still refer to its ID or
+	// it carries control state.
+	if s.tracer == nil && !p.Control {
+		s.freePkts = append(s.freePkts, p)
+	}
 }
 
 // injectAll steps every node's Bernoulli process for one cycle.
@@ -262,17 +275,24 @@ func (s *System) injectAll(now uint64) {
 			continue
 		}
 		s.nextPkt++
-		p := &flit.Packet{
-			ID:         s.nextPkt,
-			Src:        n,
-			Dst:        dst,
-			SrcBoard:   s.top.Board(n),
-			DstBoard:   s.top.Board(dst),
-			Size:       s.cfg.PacketBytes,
-			FlitBytes:  s.cfg.FlitBytes,
-			InjectedAt: now,
-			Labeled:    s.meas.OnInject(now),
+		var p *flit.Packet
+		if k := len(s.freePkts); k > 0 {
+			p = s.freePkts[k-1]
+			s.freePkts[k-1] = nil
+			s.freePkts = s.freePkts[:k-1]
+			p.Reset()
+		} else {
+			p = &flit.Packet{}
 		}
+		p.ID = s.nextPkt
+		p.Src = n
+		p.Dst = dst
+		p.SrcBoard = s.top.Board(n)
+		p.DstBoard = s.top.Board(dst)
+		p.Size = s.cfg.PacketBytes
+		p.FlitBytes = s.cfg.FlitBytes
+		p.InjectedAt = now
+		p.Labeled = s.meas.OnInject(now)
 		s.injected++
 		if s.tracer != nil {
 			s.tracer.Record(trace.Event{Cycle: now, Kind: trace.Inject, Packet: p.ID, Board: p.SrcBoard, Wavelength: -1, Dest: -1})
@@ -284,6 +304,9 @@ func (s *System) injectAll(now uint64) {
 // step advances the whole system by one cycle.
 func (s *System) step(now uint64) {
 	s.eng.RunUntil(now)
+	// Completed optical transmissions enqueue into the rx sources before
+	// any component ticks, as when deliveries were engine events.
+	s.fab.DeliverDue(now)
 	s.meas.Advance(now)
 	if s.history == nil {
 		// Power metering tracks the measurement interval unless a history
@@ -296,14 +319,24 @@ func (s *System) step(now uint64) {
 		}
 	}
 	s.injectAll(now)
+	// Active-set scheduling: visit components in the same deterministic
+	// order as the exhaustive scan, skipping the ones that provably have
+	// nothing to do this cycle (HasWork is O(1) on maintained counters; a
+	// workless component's Tick is a no-op, so skipping changes nothing).
 	for _, nic := range s.nics {
-		nic.Tick(now)
+		if nic.HasWork() {
+			nic.Tick(now)
+		}
 	}
 	for _, bd := range s.boards {
 		for _, rx := range bd.rxSources {
-			rx.Tick(now)
+			if rx.HasWork() {
+				rx.Tick(now)
+			}
 		}
-		bd.ibi.Tick(now)
+		if bd.ibi.HasWork() {
+			bd.ibi.Tick(now)
+		}
 	}
 	s.fab.Tick(now)
 	if s.history != nil {

@@ -100,6 +100,9 @@ func (rc *RC) run(p *sim.Process) {
 // resets the windows for the next R_w. Indexed [w][d].
 func (rc *RC) snapshotAndReset() [][]laserSnap {
 	b := rc.sys.top.Boards()
+	// Idle lasers accrue window statistics lazily; bring them up to date
+	// before reading and resetting the windows.
+	rc.sys.fab.FlushStats(rc.sys.eng.Now())
 	snap := make([][]laserSnap, b)
 	for w := 1; w < b; w++ {
 		snap[w] = make([]laserSnap, b)

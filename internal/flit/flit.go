@@ -79,6 +79,19 @@ type Packet struct {
 	// state across hops (e.g. dateline-crossing bits on tori). The E-RAPID
 	// optical fabric does not use it.
 	RouteState uint8
+
+	// slab is the packet's flit storage, filled by Flitize. It is reused
+	// every time the packet is (re-)serialized onto a link, and survives
+	// packet recycling, so the steady-state flit path allocates nothing.
+	slab []Flit
+}
+
+// Reset clears every packet field for reuse from a free list, keeping
+// the flit slab's backing storage so recycled packets serialize without
+// allocating.
+func (p *Packet) Reset() {
+	slab := p.slab
+	*p = Packet{slab: slab}
 }
 
 // Flits returns the number of flits in the packet (at least 1).
@@ -130,10 +143,9 @@ func (f *Flit) String() string {
 	return fmt.Sprintf("%s[%d] of %s", f.Kind, f.Index, f.Packet)
 }
 
-// Explode converts a packet into its flit sequence.
-func Explode(p *Packet) []*Flit {
-	n := p.Flits()
-	fs := make([]*Flit, n)
+// fill writes the packet's flit sequence into fs (len(fs) == p.Flits()).
+func fill(p *Packet, fs []Flit) {
+	n := len(fs)
 	for i := 0; i < n; i++ {
 		k := Body
 		switch {
@@ -144,7 +156,36 @@ func Explode(p *Packet) []*Flit {
 		case i == n-1:
 			k = Tail
 		}
-		fs[i] = &Flit{Kind: k, Packet: p, Index: i}
+		fs[i] = Flit{Kind: k, Packet: p, Index: i}
+	}
+}
+
+// Flitize fills the packet's internal flit slab and returns it. The slab
+// is owned by the packet: every call reuses the same backing array, so a
+// packet may be flitized again only after all flits from the previous
+// serialization have been consumed downstream (true for each hop of the
+// E-RAPID pipeline: a hop's flits are reassembled into the whole packet
+// before the next hop serializes it). This is the allocation-free fast
+// path; use Explode when independent flit objects are needed.
+func (p *Packet) Flitize() []Flit {
+	n := p.Flits()
+	if cap(p.slab) < n {
+		p.slab = make([]Flit, n)
+	}
+	fs := p.slab[:n]
+	fill(p, fs)
+	return fs
+}
+
+// Explode converts a packet into a freshly allocated flit sequence,
+// independent of the packet's internal slab.
+func Explode(p *Packet) []*Flit {
+	n := p.Flits()
+	backing := make([]Flit, n)
+	fill(p, backing)
+	fs := make([]*Flit, n)
+	for i := range backing {
+		fs[i] = &backing[i]
 	}
 	return fs
 }

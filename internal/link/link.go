@@ -28,8 +28,9 @@ type PacketSource struct {
 	credits []int
 	pending []creditEntry
 
-	// in-flight transmission state
-	cur        []*flit.Flit
+	// in-flight transmission state. cur points into the current packet's
+	// flit slab (flit.Flitize); it is nil when no packet is serializing.
+	cur        []flit.Flit
 	curIdx     int
 	curVC      int
 	nextSendAt uint64
@@ -75,6 +76,13 @@ func (s *PacketSource) Sent() uint64 { return s.sent }
 // Busy reports whether a packet is currently being serialized.
 func (s *PacketSource) Busy() bool { return s.cur != nil }
 
+// HasWork reports whether Tick would do anything this cycle: a packet
+// queued or in flight, or credits waiting to mature. It is O(1), so the
+// system's active-set scheduler can skip idle sources.
+func (s *PacketSource) HasWork() bool {
+	return s.cur != nil || len(s.queue) > 0 || len(s.pending) > 0
+}
+
 // PutCredit implements router.CreditSink.
 func (s *PacketSource) PutCredit(vc int, readyAt uint64) {
 	s.pending = append(s.pending, creditEntry{vc: vc, readyAt: readyAt})
@@ -119,8 +127,9 @@ func (s *PacketSource) Tick(now uint64) {
 		s.rrVC = (chosen + 1) % s.vcs
 		p := s.queue[0]
 		copy(s.queue, s.queue[1:])
+		s.queue[len(s.queue)-1] = nil
 		s.queue = s.queue[:len(s.queue)-1]
-		s.cur = flit.Explode(p)
+		s.cur = p.Flitize()
 		s.curIdx = 0
 		s.curVC = chosen
 		s.nextSendAt = now
@@ -131,7 +140,7 @@ func (s *PacketSource) Tick(now uint64) {
 	if s.nextSendAt > now || s.credits[s.curVC] <= 0 {
 		return
 	}
-	f := s.cur[s.curIdx]
+	f := &s.cur[s.curIdx]
 	f.VC = s.curVC
 	s.credits[s.curVC]--
 	s.sink.PutFlit(f, now+s.flitCycles)

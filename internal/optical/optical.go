@@ -116,9 +116,18 @@ func (c *Channel) Deliveries() uint64 { return c.deliveries }
 
 // Laser is one element of a transmitter's laser array: wavelength w at
 // board s, aimed at destination board d through port d.
+//
+// Lasers are ticked lazily: only lasers with queued packets or an
+// in-flight serialization sit on the fabric's active list and are
+// visited each cycle. An idle laser's window statistics are batched in
+// when it reactivates (or on FlushStats) — an idle span of k cycles is
+// exactly k not-busy LinkWin ticks and k empty-queue BufWin samples, so
+// the windows stay integer-exact. Its supply power while lit is carried
+// by the fabric's idle-laser aggregate (see Fabric.idleLitMW).
 type Laser struct {
 	s, w, d int
 	ladder  *power.Ladder
+	fab     *Fabric
 
 	level         int    // index into ladder; 0 = Off
 	disabledUntil uint64 // CDR relock / voltage transition window
@@ -133,6 +142,11 @@ type Laser struct {
 
 	transitions uint64
 	sentPackets uint64
+
+	active      bool    // on the fabric's active list
+	statsAt     uint64  // cycle through which LinkWin/BufWin are accounted
+	idleContrib float64 // mW currently counted in fab.idleLitMW
+	key         int     // canonical (s,w,d) order for the active list
 }
 
 // Level returns the laser's operating level (a ladder index; 0 = Off).
@@ -174,6 +188,9 @@ func (l *Laser) SetLevel(level int, now, relockCycles uint64) {
 		// receiver CDR re-locks.
 		l.disabledUntil = now + relockCycles
 	}
+	if l.fab != nil {
+		l.fab.refreshIdle(l)
+	}
 }
 
 // DeliverFunc receives a packet that completed optical transmission on
@@ -203,6 +220,22 @@ type Fabric struct {
 	txs      []*Transmitter
 
 	deliver [][]DeliverFunc // [d][w]
+
+	// activeLasers holds, in canonical (s, w, d) order, every laser with
+	// queued packets or an in-flight serialization. Only these are ticked.
+	activeLasers []*Laser
+	// idleLitMW is the summed supply power of lit, operating lasers that
+	// are NOT on the active list; it is added to the meter in one call per
+	// metered cycle so idle lasers need no per-cycle visit.
+	idleLitMW float64
+
+	// delHeap is the min-heap (by arrival, then push order) of in-flight
+	// optical transmissions awaiting delivery; DeliverDue drains it.
+	delHeap []delivery
+	delSeq  uint64
+
+	// deactScratch collects lasers leaving the active list within a Tick.
+	deactScratch []*Laser
 
 	meter        *power.Meter
 	meterEnabled bool
@@ -260,7 +293,10 @@ func NewFabric(top *topology.Topology, eng *sim.Engine, cfg Config) (*Fabric, er
 				if cfg.PortRadius > 0 && ringDistance(d, staticDst, b) > cfg.PortRadius {
 					continue // this port is not populated in the cost-reduced array
 				}
-				f.lasers[s][w][d] = &Laser{s: s, w: w, d: d, ladder: cfg.Ladder, level: cfg.DefaultLevel}
+				l := &Laser{s: s, w: w, d: d, ladder: cfg.Ladder, level: cfg.DefaultLevel,
+					fab: f, key: (s*b+w)*b + d}
+				f.lasers[s][w][d] = l
+				f.refreshIdle(l)
 			}
 		}
 	}
@@ -270,6 +306,80 @@ func NewFabric(top *topology.Topology, eng *sim.Engine, cfg Config) (*Fabric, er
 		}
 	}
 	return f, nil
+}
+
+// litIdleMW returns the supply power an idle laser currently draws: its
+// level's power when it is lit (drives its channel) and operating, and
+// not already accounted per-cycle via the active list.
+func (f *Fabric) litIdleMW(l *Laser) float64 {
+	if l.active || !l.ladder.Operating(l.level) || f.channels[l.d][l.w].holder != l.s {
+		return 0
+	}
+	return f.cfg.Ladder.MW(l.level)
+}
+
+// refreshIdle re-derives one laser's contribution to the idle-laser
+// supply aggregate after any change to its level, holder or active
+// status.
+func (f *Fabric) refreshIdle(l *Laser) {
+	c := f.litIdleMW(l)
+	if c != l.idleContrib {
+		f.idleLitMW += c - l.idleContrib
+		l.idleContrib = c
+	}
+}
+
+// syncStats fills in the idle span [l.statsAt, now) of a laser's window
+// statistics: an inactive laser is never busy and holds no queued
+// packets, so the batch update is integer-exact with per-cycle ticking.
+func (f *Fabric) syncStats(l *Laser, now uint64) {
+	if now > l.statsAt {
+		k := now - l.statsAt
+		l.LinkWin.AddN(0, k)
+		l.BufWin.AddN(0, k*uint64(f.cfg.QueueCap))
+		l.statsAt = now
+	}
+}
+
+// FlushStats brings every laser's LinkWin/BufWin up to date through
+// cycle now-1. Callers that read or reset the windows directly (the RC
+// snapshot, tests) must flush first; active lasers are already current.
+func (f *Fabric) FlushStats(now uint64) {
+	b := f.top.Boards()
+	for s := 0; s < b; s++ {
+		for w := 1; w < b; w++ {
+			for d := 0; d < b; d++ {
+				if l := f.lasers[s][w][d]; l != nil && !l.active {
+					f.syncStats(l, now)
+				}
+			}
+		}
+	}
+}
+
+// activateLaser puts a laser on the active list (no-op when already
+// there), first batching in the idle span it skipped. Binary insertion
+// keeps the list in canonical (s, w, d) order so active lasers are
+// visited in exactly the order the exhaustive scan used.
+func (f *Fabric) activateLaser(l *Laser, now uint64) {
+	if l.active {
+		return
+	}
+	f.syncStats(l, now)
+	l.active = true
+	lo, hi := 0, len(f.activeLasers)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if f.activeLasers[mid].key < l.key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	f.activeLasers = append(f.activeLasers, nil)
+	copy(f.activeLasers[lo+1:], f.activeLasers[lo:])
+	f.activeLasers[lo] = l
+	f.refreshIdle(l)
 }
 
 // Topology returns the fabric's topology.
@@ -351,42 +461,137 @@ func (f *Fabric) Reassign(d, w, newHolder int, level int, now uint64) error {
 		nl.transitions++
 		nl.disabledUntil = now + f.cfg.RelockCycles
 	}
+	// The holder change flipped which laser is lit: re-derive both lasers'
+	// idle supply contributions.
+	f.refreshIdle(old)
+	f.refreshIdle(nl)
 	return nil
 }
 
 // HoldersToward returns the wavelengths board s currently holds toward
 // board d (the route candidates for flow s→d), in ascending order.
 func (f *Fabric) HoldersToward(s, d int) []int {
-	var ws []int
-	for w := 1; w < f.top.Boards(); w++ {
-		if f.channels[d][w].holder == s {
-			ws = append(ws, w)
-		}
-	}
-	return ws
+	return f.AppendHoldersToward(nil, s, d)
 }
 
-// Tick advances transmitters and lasers one cycle and samples statistics
-// and power. Call exactly once per cycle.
-func (f *Fabric) Tick(now uint64) {
-	for _, tx := range f.txs {
-		tx.tick(now)
-	}
-	b := f.top.Boards()
-	for s := 0; s < b; s++ {
-		for w := 1; w < b; w++ {
-			for d := 0; d < b; d++ {
-				l := f.lasers[s][w][d]
-				if l == nil {
-					continue
-				}
-				f.tickLaser(l, now)
-			}
+// AppendHoldersToward appends the wavelengths board s currently holds
+// toward board d to buf and returns it. Hot routing paths pass a reused
+// scratch buffer to avoid a per-packet allocation.
+func (f *Fabric) AppendHoldersToward(buf []int, s, d int) []int {
+	for w := 1; w < f.top.Boards(); w++ {
+		if f.channels[d][w].holder == s {
+			buf = append(buf, w)
 		}
 	}
+	return buf
+}
+
+// delivery is one in-flight optical transmission: packet p arrives on
+// channel (d, w) at cycle at. seq preserves push (FIFO) order among
+// equal arrival times.
+type delivery struct {
+	at  uint64
+	seq uint64
+	d   int
+	w   int
+	p   *flit.Packet
+}
+
+// pushDelivery schedules a completed serialization for delivery.
+func (f *Fabric) pushDelivery(at uint64, d, w int, p *flit.Packet) {
+	h := f.delHeap
+	h = append(h, delivery{at: at, seq: f.delSeq, d: d, w: w, p: p})
+	f.delSeq++
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].at < h[i].at || (h[parent].at == h[i].at && h[parent].seq < h[i].seq) {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	f.delHeap = h
+}
+
+// DeliverDue hands every transmission with arrival ≤ now to its
+// channel's receive path, in (arrival, transmission start) order. The
+// system driver calls it once per cycle before ticking receive sources;
+// Tick also calls it so directly-driven fabrics (tests) deliver without
+// a driver. It is idempotent within a cycle.
+func (f *Fabric) DeliverDue(now uint64) {
+	for len(f.delHeap) > 0 && f.delHeap[0].at <= now {
+		h := f.delHeap
+		dv := h[0]
+		n := len(h) - 1
+		h[0] = h[n]
+		h[n] = delivery{}
+		h = h[:n]
+		i := 0
+		for {
+			child := 2*i + 1
+			if child >= n {
+				break
+			}
+			if r := child + 1; r < n && (h[r].at < h[child].at || (h[r].at == h[child].at && h[r].seq < h[child].seq)) {
+				child = r
+			}
+			if h[i].at < h[child].at || (h[i].at == h[child].at && h[i].seq < h[child].seq) {
+				break
+			}
+			h[i], h[child] = h[child], h[i]
+			i = child
+		}
+		f.delHeap = h
+		ch := f.channels[dv.d][dv.w]
+		ch.deliveries++
+		if fn := f.deliver[dv.d][dv.w]; fn != nil {
+			fn(dv.p, dv.at)
+		}
+	}
+}
+
+// PendingDeliveries returns the number of in-flight transmissions.
+func (f *Fabric) PendingDeliveries() int { return len(f.delHeap) }
+
+// Tick advances transmitters and lasers one cycle and samples statistics
+// and power. Call exactly once per cycle. Only transmitters holding
+// flits and lasers on the active list are visited; lasers that go idle
+// drop off the list and their statistics and supply power are carried
+// forward in bulk (syncStats, idleLitMW).
+func (f *Fabric) Tick(now uint64) {
+	f.DeliverDue(now)
+	for _, tx := range f.txs {
+		if tx.pending > 0 {
+			tx.tick(now)
+		}
+	}
+	kept := f.activeLasers[:0]
+	deact := f.deactScratch[:0]
+	for _, l := range f.activeLasers {
+		f.tickLaser(l, now)
+		if len(l.queue) > 0 || l.busyUntil > now+1 {
+			kept = append(kept, l)
+		} else {
+			l.active = false
+			deact = append(deact, l)
+		}
+	}
+	for i := len(kept); i < len(f.activeLasers); i++ {
+		f.activeLasers[i] = nil
+	}
+	f.activeLasers = kept
 	if f.meterEnabled {
+		f.meter.AddCycleMW(f.idleLitMW, false)
 		f.meter.Observe(1)
 	}
+	// Lasers deactivated this cycle were metered by tickLaser above; they
+	// join the idle aggregate only from the next cycle on.
+	for i, l := range deact {
+		f.refreshIdle(l)
+		deact[i] = nil
+	}
+	f.deactScratch = deact[:0]
 }
 
 func (f *Fabric) tickLaser(l *Laser, now uint64) {
@@ -401,6 +606,7 @@ func (f *Fabric) tickLaser(l *Laser, now uint64) {
 		!l.Disabled(now) && !l.Busy(now) && !ch.Busy(now) {
 		p := l.queue[0]
 		copy(l.queue, l.queue[1:])
+		l.queue[len(l.queue)-1] = nil
 		l.queue = l.queue[:len(l.queue)-1]
 		if f.observer != nil {
 			f.observer.LaserTransmit(l.s, l.w, l.d, p, now)
@@ -408,19 +614,13 @@ func (f *Fabric) tickLaser(l *Laser, now uint64) {
 		ser := f.cfg.Ladder.SerializationCycles(p.Bits(), l.level, f.cfg.CycleNS)
 		l.busyUntil = now + ser
 		ch.busyUntil = now + ser
-		arrival := now + ser + f.cfg.PropCycles
-		dst, wl := l.d, l.w
-		f.eng.At(arrival, func() {
-			ch.deliveries++
-			if fn := f.deliver[dst][wl]; fn != nil {
-				fn(p, arrival)
-			}
-		})
+		f.pushDelivery(now+ser+f.cfg.PropCycles, l.d, l.w, p)
 		l.sentPackets++
 	}
 	busy := l.Busy(now)
 	l.LinkWin.Tick(busy)
 	l.BufWin.AddN(uint64(len(l.queue)), uint64(f.cfg.QueueCap))
+	l.statsAt = now + 1
 	if f.meterEnabled && lit && l.Operating() {
 		f.meter.AddCycleMW(f.cfg.Ladder.MW(l.level), busy)
 	}
@@ -461,8 +661,11 @@ func (f *Fabric) CheckInvariants() error {
 }
 
 // Quiescent reports whether no laser holds queued packets or in-flight
-// serializations at the given cycle.
+// serializations at the given cycle, and no delivery is in flight.
 func (f *Fabric) Quiescent(now uint64) bool {
+	if len(f.delHeap) > 0 {
+		return false
+	}
 	for _, tx := range f.txs {
 		if !tx.quiescent() {
 			return false

@@ -364,6 +364,9 @@ func TestLinkAndBufferWindows(t *testing.T) {
 	sendPacket(f.Transmitter(1, w), mkPkt(1, 1, 0), 0, 0)
 	sendPacket(f.Transmitter(1, w), mkPkt(2, 1, 0), 1, 0)
 	run(f, eng, 0, 100)
+	// The laser went idle (and off the active list) at cycle 82; flush the
+	// lazily accrued idle span before reading the windows.
+	f.FlushStats(100)
 	// Busy 82/100 cycles (two back-to-back 41-cycle serializations).
 	if got := laser.LinkWin.Utilization(); got < 0.80 || got > 0.84 {
 		t.Fatalf("Link_util = %v, want ~0.82", got)

@@ -22,6 +22,9 @@ type Transmitter struct {
 	cs router.CreditSink
 
 	vcs []txVC
+	// pending counts buffered flits across all VCs; the fabric skips
+	// ticking transmitters with nothing buffered.
+	pending int
 }
 
 type txVC struct {
@@ -60,6 +63,7 @@ func (t *Transmitter) PutFlit(f *flit.Flit, readyAt uint64) {
 		panic(fmt.Sprintf("optical: tx(%d,λ%d): VC %d reassembly overflow (credit protocol violated)", t.s, t.w, f.VC))
 	}
 	vc.entries = append(vc.entries, txEntry{f: f, readyAt: readyAt})
+	t.pending++
 }
 
 // tick moves completed packets from reassembly buffers into laser queues
@@ -92,11 +96,13 @@ func (t *Transmitter) tick(now uint64) {
 			continue // backpressure: hold credits until the laser drains
 		}
 		laser.queue = append(laser.queue, p)
+		t.f.activateLaser(laser, now)
 		if t.f.observer != nil {
 			t.f.observer.LaserEnqueue(t.s, t.w, dst, p, now)
 		}
 		n := len(vc.entries)
 		vc.entries = vc.entries[:0]
+		t.pending -= n
 		if t.cs != nil {
 			for i := 0; i < n; i++ {
 				t.cs.PutCredit(v, now+1)

@@ -1,0 +1,63 @@
+// Package prof wires the standard pprof profiling flags into the CLIs,
+// so simulator hot spots can be inspected with `go tool pprof` on real
+// workloads (not just the microbenchmarks).
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the -cpuprofile/-memprofile flag values.
+type Flags struct {
+	cpu *string
+	mem *string
+}
+
+// AddFlags registers -cpuprofile and -memprofile on the default flag
+// set. Call before flag.Parse.
+func AddFlags() *Flags {
+	return &Flags{
+		cpu: flag.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: flag.String("memprofile", "", "write a heap profile to this file at exit"),
+	}
+}
+
+// Start begins CPU profiling if requested and returns a stop function
+// that finishes the CPU profile and writes the heap profile. The stop
+// function must run before the process exits normally (defer it in
+// main); profiles are simply not written on error exits.
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if *f.cpu != "" {
+		cpuFile, err = os.Create(*f.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if *f.mem != "" {
+			mf, err := os.Create(*f.mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
+}

@@ -144,9 +144,21 @@ type Counters struct {
 	CreditStall uint64 // SA requests suppressed for lack of credits
 }
 
+// vaReq is one input VC waiting for an output VC this cycle.
+type vaReq struct{ inPort, inVC, out int }
+
+// nomination is one input port's SA stage-1 winner.
+type nomination struct{ inPort, inVC, out int }
+
 // Router is a cycle-accurate input-queued VC router. Drive it by calling
 // Tick exactly once per cycle with a monotonically increasing cycle
 // number.
+//
+// The router keeps O(1) activity counters (buffered flits, non-idle VCs,
+// pending credits) so each pipeline stage — and, via HasWork, the whole
+// Tick — can be skipped when it provably has nothing to do. The visit
+// order of ports and VCs within a stage is unchanged, so arbitration
+// outcomes are bit-identical to the exhaustive scan.
 type Router struct {
 	cfg  Config
 	ins  [][]*inVC // [port][vc]
@@ -155,6 +167,21 @@ type Router struct {
 	inputCreditSinks []CreditSink
 	rrInVC           []int // per input port: round-robin over VCs for SA stage 1
 	ctr              Counters
+
+	// Activity counters for stage skipping.
+	bufTotal   int   // flits buffered across all input VCs
+	activeVCs  int   // input VCs with stage != vcIdle
+	portActive []int // per input port: VCs with stage != vcIdle
+	vaWaiting  int   // input VCs in vcWaitVC
+	credTotal  int   // immature credit entries across all outputs
+
+	// Per-tick scratch buffers (no steady-state allocation).
+	reqScratch []vaReq
+	reqSubset  []vaReq
+	outReqs    []int // per output: waiting VA requests this cycle
+	nomScratch []nomination
+	saBest     []int // per output: index into nomScratch of the SA winner
+	saCount    []int // per output: nominations this cycle
 }
 
 // New builds a router from a validated config.
@@ -176,6 +203,10 @@ func New(cfg Config) (*Router, error) {
 	}
 	r.inputCreditSinks = make([]CreditSink, cfg.Inputs)
 	r.rrInVC = make([]int, cfg.Inputs)
+	r.portActive = make([]int, cfg.Inputs)
+	r.outReqs = make([]int, cfg.Outputs)
+	r.saBest = make([]int, cfg.Outputs)
+	r.saCount = make([]int, cfg.Outputs)
 	return r, nil
 }
 
@@ -239,6 +270,7 @@ func (s inputSink) PutFlit(f *flit.Flit, readyAt uint64) {
 		panic(fmt.Sprintf("router %q: input %d VC %d overflow (credit protocol violated)", r.cfg.Name, s.port, f.VC))
 	}
 	vc.buf = append(vc.buf, bufEntry{f: f, readyAt: readyAt})
+	r.bufTotal++
 	r.ctr.FlitsIn++
 }
 
@@ -255,19 +287,34 @@ type creditSink struct {
 func (s creditSink) PutCredit(vc int, readyAt uint64) {
 	op := s.r.outs[s.port]
 	op.pendingCredits = append(op.pendingCredits, creditEntry{vc: vc, readyAt: readyAt})
+	s.r.credTotal++
 }
 
 // CreditSink returns the credit sink for output port p (handed to the
 // downstream receiver).
 func (r *Router) CreditSink(p int) CreditSink { return creditSink{r: r, port: p} }
 
+// HasWork reports whether Tick could change any state this cycle: flits
+// buffered, packets mid-pipeline, or credits waiting to mature. O(1).
+func (r *Router) HasWork() bool {
+	return r.bufTotal > 0 || r.activeVCs > 0 || r.credTotal > 0
+}
+
 // Tick advances the router one cycle. now must increase by exactly one
 // between calls for utilization accounting to be meaningful.
 func (r *Router) Tick(now uint64) {
-	r.absorbCredits(now)
-	r.routeCompute(now)
-	r.vcAllocate(now)
-	r.switchAllocateAndTraverse(now)
+	if r.credTotal > 0 {
+		r.absorbCredits(now)
+	}
+	if r.bufTotal > 0 {
+		r.routeCompute(now)
+	}
+	if r.vaWaiting > 0 {
+		r.vcAllocate(now)
+	}
+	if r.activeVCs > 0 {
+		r.switchAllocateAndTraverse(now)
+	}
 }
 
 // absorbCredits makes matured credits visible to the allocators.
@@ -280,6 +327,7 @@ func (r *Router) absorbCredits(now uint64) {
 		for _, ce := range op.pendingCredits {
 			if ce.readyAt <= now {
 				op.vcs[ce.vc].credits++
+				r.credTotal--
 				if op.vcs[ce.vc].credits > op.link.DownDepth {
 					panic(fmt.Sprintf("router %q: credit overflow on output", r.cfg.Name))
 				}
@@ -316,33 +364,54 @@ func (r *Router) routeCompute(now uint64) {
 			}
 			vc.stage = vcWaitVC
 			vc.stageReady = now + 1 // RC occupies this cycle
+			r.activeVCs++
+			r.portActive[p]++
+			r.vaWaiting++
 		}
 	}
 }
 
 // vcAllocate grants free output VCs to waiting headers, one per output
 // VC per cycle, with round-robin priority across input VCs.
+//
+// Requests are gathered in one pass over the inputs (in (port, VC) order,
+// matching the per-output scan of the exhaustive version) into persistent
+// scratch buffers, then outputs are served in ascending order. A grant on
+// one output never changes another output's request set or round-robin
+// state, so the arbitration outcome is identical to scanning all inputs
+// once per output.
 func (r *Router) vcAllocate(now uint64) {
-	// Gather requests per output port in a stable order.
-	type req struct{ inPort, inVC int }
-	for op := range r.outs {
-		var reqs []req
-		for p := range r.ins {
-			for v, vc := range r.ins[p] {
-				if vc.stage == vcWaitVC && vc.stageReady <= now && vc.outPort == op {
-					reqs = append(reqs, req{p, v})
-				}
-			}
-		}
-		if len(reqs) == 0 {
+	reqs := r.reqScratch[:0]
+	for p := range r.ins {
+		if r.portActive[p] == 0 {
 			continue
 		}
+		for v, vc := range r.ins[p] {
+			if vc.stage == vcWaitVC && vc.stageReady <= now {
+				reqs = append(reqs, vaReq{inPort: p, inVC: v, out: vc.outPort})
+				r.outReqs[vc.outPort]++
+			}
+		}
+	}
+	r.reqScratch = reqs
+	for op := 0; op < r.cfg.Outputs; op++ {
+		if r.outReqs[op] == 0 {
+			continue
+		}
+		r.outReqs[op] = 0
+		sub := r.reqSubset[:0]
+		for _, rq := range reqs {
+			if rq.out == op {
+				sub = append(sub, rq)
+			}
+		}
+		r.reqSubset = sub
 		out := r.outs[op]
 		// Grant each request the first admissible free output VC,
 		// round-robin across requesters for fairness across cycles.
 		granted := 0
-		for ri := 0; ri < len(reqs); ri++ {
-			rq := reqs[(ri+out.rrIn)%len(reqs)]
+		for ri := 0; ri < len(sub); ri++ {
+			rq := sub[(ri+out.rrIn)%len(sub)]
 			ivc := r.ins[rq.inPort][rq.inVC]
 			v := r.freeOutVC(out, ivc.vcClass)
 			if v < 0 {
@@ -352,10 +421,11 @@ func (r *Router) vcAllocate(now uint64) {
 			ivc.outVC = v
 			ivc.stage = vcActive
 			ivc.stageReady = now + 1 // VA occupies this cycle
+			r.vaWaiting--
 			granted++
 		}
-		if granted < len(reqs) {
-			r.ctr.VAStalls += uint64(len(reqs) - granted)
+		if granted < len(sub) {
+			r.ctr.VAStalls += uint64(len(sub) - granted)
 		}
 		out.rrVC = (out.rrVC + 1) % len(out.vcs)
 		out.rrIn = (out.rrIn + 1) % r.cfg.Inputs
@@ -383,12 +453,12 @@ func (r *Router) freeOutVC(out *outPort, class int) int {
 // output stage) and moves the granted flits onto their output channels.
 func (r *Router) switchAllocateAndTraverse(now uint64) {
 	// Stage 1: each input port nominates one requesting VC (round-robin).
-	type nomination struct {
-		inPort, inVC int
-		out          int
-	}
-	noms := make([]nomination, 0, len(r.ins))
+	// Ports with no non-idle VC cannot nominate and are skipped outright.
+	noms := r.nomScratch[:0]
 	for p := range r.ins {
+		if r.portActive[p] == 0 {
+			continue
+		}
 		chosen := -1
 		nvc := r.cfg.VCs
 		for dv := 0; dv < nvc; dv++ {
@@ -405,35 +475,41 @@ func (r *Router) switchAllocateAndTraverse(now uint64) {
 			r.rrInVC[p] = (chosen + 1) % nvc
 		}
 	}
+	r.nomScratch = noms
+	if len(noms) == 0 {
+		return
+	}
 	// Stage 2: each output port grants one nomination (round-robin by
-	// input port index).
-	for op := range r.outs {
-		out := r.outs[op]
-		best := -1
-		bestKey := 0
-		for i, nm := range noms {
-			if nm.out != op {
-				continue
-			}
+	// input port index). Winners per output are found in one pass over
+	// the nominations; since a grant only mutates its own output's state,
+	// precomputing all winners matches the per-output scan exactly.
+	for i := range noms {
+		op := noms[i].out
+		if r.saCount[op] == 0 {
+			r.saBest[op] = i
+		} else {
+			out := r.outs[op]
 			// Priority: smallest (inPort - rrIn) mod Inputs wins.
-			key := ((nm.inPort - out.rrIn) + r.cfg.Inputs) % r.cfg.Inputs
-			if best == -1 || key < bestKey {
-				best = i
-				bestKey = key
+			cur := noms[r.saBest[op]]
+			curKey := ((cur.inPort - out.rrIn) + r.cfg.Inputs) % r.cfg.Inputs
+			key := ((noms[i].inPort - out.rrIn) + r.cfg.Inputs) % r.cfg.Inputs
+			if key < curKey {
+				r.saBest[op] = i
 			}
 		}
-		if best == -1 {
+		r.saCount[op]++
+	}
+	for op := 0; op < r.cfg.Outputs; op++ {
+		c := r.saCount[op]
+		if c == 0 {
 			continue
 		}
-		// Count losers on this output as conflicts.
-		for i, nm := range noms {
-			if nm.out == op && i != best {
-				r.ctr.SAConflicts++
-			}
-		}
-		nm := noms[best]
+		r.saCount[op] = 0
+		// Losers on this output count as conflicts.
+		r.ctr.SAConflicts += uint64(c - 1)
+		nm := noms[r.saBest[op]]
 		r.traverse(nm.inPort, nm.inVC, now)
-		out.rrIn = (nm.inPort + 1) % r.cfg.Inputs
+		r.outs[op].rrIn = (nm.inPort + 1) % r.cfg.Inputs
 	}
 }
 
@@ -464,6 +540,7 @@ func (r *Router) traverse(inPort, inVC int, now uint64) {
 	entry := vc.buf[0]
 	copy(vc.buf, vc.buf[1:])
 	vc.buf = vc.buf[:len(vc.buf)-1]
+	r.bufTotal--
 
 	out := r.outs[vc.outPort]
 	f := entry.f
@@ -488,6 +565,8 @@ func (r *Router) traverse(inPort, inVC int, now uint64) {
 		// Release the output VC and the input VC.
 		out.vcs[vc.outVC].allocated = false
 		vc.stage = vcIdle
+		r.activeVCs--
+		r.portActive[inPort]--
 		r.ctr.PacketsOut++
 	}
 }

@@ -10,10 +10,14 @@
 // order (FIFO tie-break by sequence number). The engine is single
 // threaded; the process layer runs at most one goroutine at a time with
 // a strict handshake, so simulations are reproducible bit-for-bit.
+//
+// The calendar is a typed min-heap of pooled event records: scheduling
+// does not box through interfaces, fired and cancelled events return to
+// a free list, and Cancel eagerly removes its entry so long runs with
+// many cancelled wake-ups never accumulate dead calendar entries.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -25,46 +29,20 @@ type Time = uint64
 // MaxTime is the largest representable virtual time.
 const MaxTime Time = math.MaxUint64
 
-// event is a single calendar entry.
+// event is a single calendar entry. Events are pooled: gen increments on
+// every reuse so stale EventIDs can never cancel a recycled entry.
 type event struct {
-	at   Time
-	seq  uint64 // tie-break: FIFO among equal times
-	fn   func()
-	idx  int // heap index, -1 when popped/cancelled
-	dead bool
+	at  Time
+	seq uint64 // tie-break: FIFO among equal times
+	fn  func()
+	idx int    // heap index, -1 when popped/cancelled
+	gen uint32 // reuse generation
 }
 
 // EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
-
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*h = old[:n-1]
-	return ev
+type EventID struct {
+	ev  *event
+	gen uint32
 }
 
 // Engine is the discrete-event simulation kernel.
@@ -73,7 +51,8 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now      Time
 	seq      uint64
-	events   eventHeap
+	events   []*event // min-heap ordered by (at, seq)
+	free     []*event // recycled event records
 	executed uint64
 	stopped  bool
 
@@ -89,19 +68,90 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Pending returns the number of scheduled (uncancelled) events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of scheduled (uncancelled) events. It is
+// O(1): cancellation removes calendar entries eagerly.
+func (e *Engine) Pending() int { return len(e.events) }
 
 // Executed returns the total number of events executed so far.
 func (e *Engine) Executed() uint64 { return e.executed }
+
+// less orders the heap by (at, seq).
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// siftUp restores the heap property upward from index i.
+func (e *Engine) siftUp(i int) {
+	h := e.events
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(ev, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].idx = i
+		i = parent
+	}
+	h[i] = ev
+	ev.idx = i
+}
+
+// siftDown restores the heap property downward from index i.
+func (e *Engine) siftDown(i int) {
+	h := e.events
+	n := len(h)
+	ev := h[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && less(h[r], h[child]) {
+			child = r
+		}
+		if !less(h[child], ev) {
+			break
+		}
+		h[i] = h[child]
+		h[i].idx = i
+		i = child
+	}
+	h[i] = ev
+	ev.idx = i
+}
+
+// remove detaches the event at heap index i and recycles it.
+func (e *Engine) remove(i int) {
+	h := e.events
+	n := len(h) - 1
+	ev := h[i]
+	if i != n {
+		h[i] = h[n]
+		h[i].idx = i
+	}
+	h[n] = nil
+	e.events = h[:n]
+	if i != n {
+		if i > 0 && less(e.events[i], e.events[(i-1)/2]) {
+			e.siftUp(i)
+		} else {
+			e.siftDown(i)
+		}
+	}
+	e.recycle(ev)
+}
+
+// recycle returns an event record to the free list.
+func (e *Engine) recycle(ev *event) {
+	ev.idx = -1
+	ev.gen++
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
 
 // At schedules fn at absolute time t. Scheduling in the past panics: it is
 // always a model bug and silently reordering events would corrupt results.
@@ -109,10 +159,22 @@ func (e *Engine) At(t Time, fn func()) EventID {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at t=%d before now=%d", t, e.now))
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
-	heap.Push(&e.events, ev)
-	return EventID{ev}
+	ev.idx = len(e.events)
+	e.events = append(e.events, ev)
+	e.siftUp(ev.idx)
+	return EventID{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn delay time units from now. delay may be zero; the
@@ -124,39 +186,56 @@ func (e *Engine) After(delay Time, fn func()) EventID {
 
 // Cancel removes a scheduled event. Cancelling an already-fired or
 // already-cancelled event is a no-op. It reports whether the event was
-// actually cancelled.
+// actually cancelled. The calendar entry is removed (and its record
+// recycled) immediately, so cancelled wake-ups cost nothing later.
 func (e *Engine) Cancel(id EventID) bool {
 	ev := id.ev
-	if ev == nil || ev.dead || ev.idx < 0 {
+	if ev == nil || ev.gen != id.gen || ev.idx < 0 {
 		return false
 	}
-	ev.dead = true
+	e.remove(ev.idx)
 	return true
+}
+
+// popRun detaches the heap root, advances the clock and runs its fn.
+func (e *Engine) popRun() {
+	h := e.events
+	ev := h[0]
+	n := len(h) - 1
+	if n > 0 {
+		h[0] = h[n]
+		h[0].idx = 0
+	}
+	h[n] = nil
+	e.events = h[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
+	if ev.at < e.now {
+		panic("sim: event time ran backwards")
+	}
+	e.now = ev.at
+	e.executed++
+	fn := ev.fn
+	e.recycle(ev)
+	fn()
 }
 
 // Step executes the single next event. It reports false when the calendar
 // is empty or the engine has been stopped.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.dead {
-			continue
-		}
-		if ev.at < e.now {
-			panic("sim: event time ran backwards")
-		}
-		e.now = ev.at
-		e.executed++
-		ev.fn()
-		return true
+	if len(e.events) == 0 || e.stopped {
+		return false
 	}
-	return false
+	e.popRun()
+	return true
 }
 
 // Run executes events until the calendar is empty or the engine is
 // stopped. It returns the final virtual time.
 func (e *Engine) Run() Time {
-	for e.Step() {
+	for len(e.events) > 0 && !e.stopped {
+		e.popRun()
 	}
 	return e.now
 }
@@ -165,12 +244,8 @@ func (e *Engine) Run() Time {
 // limit (even if no event fired exactly there). Events scheduled exactly
 // at limit do fire.
 func (e *Engine) RunUntil(limit Time) Time {
-	for !e.stopped {
-		ev := e.peek()
-		if ev == nil || ev.at > limit {
-			break
-		}
-		e.Step()
+	for !e.stopped && len(e.events) > 0 && e.events[0].at <= limit {
+		e.popRun()
 	}
 	if e.now < limit {
 		e.now = limit
@@ -178,26 +253,13 @@ func (e *Engine) RunUntil(limit Time) Time {
 	return e.now
 }
 
-// peek returns the next live event without removing it, or nil.
-func (e *Engine) peek() *event {
-	for len(e.events) > 0 {
-		ev := e.events[0]
-		if !ev.dead {
-			return ev
-		}
-		heap.Pop(&e.events)
-	}
-	return nil
-}
-
 // NextEventTime returns the time of the next pending event and true, or
 // (0, false) when the calendar is empty.
 func (e *Engine) NextEventTime() (Time, bool) {
-	ev := e.peek()
-	if ev == nil {
+	if len(e.events) == 0 {
 		return 0, false
 	}
-	return ev.at, true
+	return e.events[0].at, true
 }
 
 // Stop halts Run/RunUntil after the current event completes. Further

@@ -62,7 +62,10 @@ type Request struct {
 	// Workers bounds parallelism; 0 means GOMAXPROCS.
 	Workers int
 	// OnResult, if set, is called as each run finishes (progress
-	// reporting). It may be called from multiple goroutines.
+	// reporting). It may be called from multiple goroutines. The Series
+	// argument identifies the curve (Mode, Pattern); its Points slice is
+	// nil — other workers are still writing the shared points array, so a
+	// snapshot cannot be passed without copying under the lock.
 	OnResult func(Series, Point)
 }
 
@@ -118,7 +121,9 @@ func Run(req Request) []Series {
 				s.Points[j.pi] = pt
 				mu.Unlock()
 				if req.OnResult != nil {
-					req.OnResult(*s, pt)
+					// Pass only the curve labels: a full *s copy would share
+					// the Points backing array that other workers mutate.
+					req.OnResult(Series{Mode: s.Mode, Pattern: s.Pattern}, pt)
 				}
 			}
 		}()

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# bench.sh — run the simulator speed benchmarks and record the results
+# as a machine-readable JSON file (default BENCH_1.json in the repo
+# root).
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+#   BENCHTIME=10s scripts/bench.sh        # longer, steadier runs
+#
+# The file records cycles/s, ns/op, B/op and allocs/op for each
+# BenchmarkSimSpeed* case, plus the pre-optimization baseline of the
+# headline case (64-node P-B, uniform, load 0.5) and the resulting
+# speedup factors. See the Performance sections of README.md and
+# DESIGN.md for what the numbers mean.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-3s}"
+OUT="${1:-BENCH_1.json}"
+
+RAW="$(go test -run '^$' -bench 'BenchmarkSimSpeed' -benchtime "$BENCHTIME" .)"
+printf '%s\n' "$RAW"
+
+printf '%s\n' "$RAW" | awk \
+    -v go_version="$(go version | awk '{print $3}')" \
+    -v benchtime="$BENCHTIME" '
+/^BenchmarkSimSpeed/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)      # strip the -GOMAXPROCS suffix
+    ns = "null"; cyc = "null"; bytes = "null"; allocs = "null"
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")          ns = $i
+        else if ($(i+1) == "cycles/s")  cyc = $i
+        else if ($(i+1) == "B/op")      bytes = $i
+        else if ($(i+1) == "allocs/op") allocs = $i
+    }
+    n++
+    names[n] = name; nss[n] = ns; cycs[n] = cyc
+    bytess[n] = bytes; allocss[n] = allocs
+}
+END {
+    if (n == 0) { print "bench.sh: no BenchmarkSimSpeed results parsed" > "/dev/stderr"; exit 1 }
+    # Pre-PR baseline of the headline case, measured at the seed commit
+    # on the same class of machine (see README.md "Performance").
+    base_ns = 27829; base_cycles = 35933; base_bytes = 3840; base_allocs = 30
+    printf "{\n"
+    printf "  \"go\": \"%s\",\n", go_version
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"baseline\": {\n"
+    printf "    \"name\": \"SimSpeed/P-B (pre-optimization seed)\",\n"
+    printf "    \"ns_per_op\": %g, \"cycles_per_sec\": %g, \"bytes_per_op\": %g, \"allocs_per_op\": %g\n", base_ns, base_cycles, base_bytes, base_allocs
+    printf "  },\n"
+    printf "  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) {
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"cycles_per_sec\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            names[i], nss[i], cycs[i], bytess[i], allocss[i], (i < n ? "," : "")
+        if (names[i] == "SimSpeed/P-B") { head_cyc = cycs[i]; head_allocs = allocss[i] }
+    }
+    printf "  ]"
+    if (head_cyc != "") {
+        printf ",\n  \"headline\": {\n"
+        printf "    \"name\": \"SimSpeed/P-B\",\n"
+        printf "    \"speedup_cycles_per_sec\": %.2f,\n", head_cyc / base_cycles
+        if (head_allocs + 0 == 0)
+            printf "    \"alloc_reduction\": \"%gx -> 0 (allocation-free steady state)\"\n", base_allocs
+        else
+            printf "    \"alloc_reduction\": %.2f\n", base_allocs / head_allocs
+        printf "  }"
+    }
+    printf "\n}\n"
+}' > "$OUT"
+
+echo "wrote $OUT" >&2
