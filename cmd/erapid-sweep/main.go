@@ -13,13 +13,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"sync/atomic"
+	"time"
 
 	erapid "repro"
 	"repro/internal/core"
 	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -73,7 +74,10 @@ func main() {
 	}
 
 	total := len(pats) * len(ms) * len(ls)
-	var done atomic.Int64
+	// done is a telemetry counter: sweep workers finish points
+	// concurrently, and the progress/ETA line is derived from it.
+	var done telemetry.Counter
+	start := time.Now()
 	fmt.Fprintf(os.Stderr, "running %d simulations (%d patterns x %d modes x %d loads)...\n",
 		total, len(pats), len(ms), len(ls))
 	series := erapid.Sweep(sweep.Request{
@@ -83,7 +87,15 @@ func main() {
 		Loads:    ls,
 		Workers:  *workers,
 		OnResult: func(s sweep.Series, p sweep.Point) {
-			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %s load %.2f\n", done.Add(1), total, s.Label(), p.Load)
+			n := done.Inc()
+			elapsed := time.Since(start)
+			var eta time.Duration
+			if rem := uint64(total) - n; n > 0 {
+				eta = time.Duration(float64(elapsed) / float64(n) * float64(rem))
+			}
+			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %s load %.2f  %3d%%  elapsed %s  eta %s\n",
+				n, total, s.Label(), p.Load, 100*n/uint64(total),
+				elapsed.Round(time.Second), eta.Round(time.Second))
 		},
 	})
 	if errs := erapid.SweepErrs(series); len(errs) > 0 {

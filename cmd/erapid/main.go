@@ -6,6 +6,9 @@
 //	erapid -mode P-B -pattern complement -load 0.7
 //	erapid -mode NP-NB -pattern uniform -load 0.5 -boards 4 -nodes 4
 //	erapid -mode P-B -pattern complement -load 0.7 -trace | head -40
+//	erapid -mode P-B -pattern complement -load 0.7 \
+//	    -metrics-out run.metrics.jsonl -events-out run.events.jsonl \
+//	    -perfetto run.trace.json -dashboard run.html
 package main
 
 import (
@@ -17,6 +20,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/flit"
 	"repro/internal/prof"
+	"repro/internal/report"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -38,6 +43,11 @@ func main() {
 		cfgPath = flag.String("config", "", "load a JSON config file (flags override it)")
 		dump    = flag.String("dump-config", "", "write the effective config as JSON and exit")
 		journey = flag.Int("journey", 0, "after the run, print the traced journeys of N delivered packets")
+
+		metricsOut = flag.String("metrics-out", "", "write per-window metrics as JSON Lines to this file")
+		eventsOut  = flag.String("events-out", "", "stream telemetry events as JSON Lines to this file")
+		perfetto   = flag.String("perfetto", "", "write a Chrome trace_event JSON (Perfetto-loadable) to this file")
+		dashboard  = flag.String("dashboard", "", "write a per-window HTML dashboard to this file")
 	)
 	profFlags := prof.AddFlags()
 	flag.Parse()
@@ -89,25 +99,113 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+
+	// -trace rides the unified telemetry pipeline: a recorder filtered to
+	// LS stage entries replaces the old ctrl.System.Trace() consumer (the
+	// printed format is unchanged).
+	var stageRec *telemetry.Recorder
 	if *lsTrace {
-		sys.Controllers().EnableTrace()
+		stageRec = telemetry.NewRecorder(1 << 20)
+		stageRec.Filter = func(ev telemetry.Event) bool { return ev.Kind == telemetry.StageEnter }
+		sys.AttachSink(stageRec)
 	}
 	var tracer *trace.Tracer
 	if *journey > 0 {
 		tracer = trace.New(1 << 20)
 		sys.AttachTracer(tracer)
 	}
+
+	// Telemetry exports: a streaming JSONL event sink plus the per-window
+	// metrics collector (whose recorder also feeds the Perfetto export).
+	var events *telemetry.JSONL
+	var eventsFile *os.File
+	var tel *core.Telemetry
+	if *metricsOut != "" || *eventsOut != "" || *perfetto != "" || *dashboard != "" {
+		tcfg := core.TelemetryConfig{}
+		if *eventsOut != "" {
+			f, err := os.Create(*eventsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			eventsFile = f
+			events = telemetry.NewJSONL(f)
+			tcfg.Sinks = append(tcfg.Sinks, events)
+		}
+		if *perfetto == "" {
+			tcfg.EventCap = -1 // no in-memory recorder needed
+		}
+		tel = sys.EnableTelemetry(tcfg)
+	}
+
 	res := sys.Run()
 	printResult(res, cfg)
-	if *lsTrace {
+	if stageRec != nil {
 		fmt.Println("\nLock-Step protocol trace (cycle, board, stage):")
-		for _, ev := range sys.Controllers().Trace() {
-			fmt.Printf("  %8d  board %d  %s\n", ev.Cycle, ev.Board, ev.Stage)
+		for _, ev := range stageRec.Events() {
+			fmt.Printf("  %8d  board %d  %s\n", ev.Cycle, ev.Board, ev.Label)
 		}
 	}
 	if tracer != nil {
 		printJourneys(tracer, *journey)
 	}
+
+	if events != nil {
+		if err := events.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := eventsFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", *eventsOut)
+	}
+	if tel != nil {
+		if *metricsOut != "" {
+			if err := writeFile(*metricsOut, func(f *os.File) error {
+				return tel.Registry().WriteMetricsJSONL(f)
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, "wrote", *metricsOut)
+		}
+		if *perfetto != "" {
+			if err := writeFile(*perfetto, func(f *os.File) error {
+				return telemetry.WriteChromeTrace(f, tel.Recorder().Events(), tel.Registry(), cfg.CycleNS, cfg.Boards)
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, "wrote", *perfetto)
+		}
+		if *dashboard != "" {
+			title := fmt.Sprintf("E-RAPID %s, %s traffic, load %.2f — reconfiguration dashboard",
+				res.Mode, res.Pattern, res.Load)
+			if err := writeFile(*dashboard, func(f *os.File) error {
+				return report.WriteDashboard(f, title, tel.Registry())
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, "wrote", *dashboard)
+		}
+	}
+}
+
+// writeFile creates path, runs write, and closes it, returning the
+// first error.
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printJourneys dumps the event journeys of the last n delivered packets

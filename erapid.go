@@ -120,3 +120,12 @@ type WindowSample = core.WindowSample
 
 // History accumulates per-window samples of a running system.
 type History = core.History
+
+// TelemetryConfig parameterizes the unified telemetry layer (see
+// System.EnableTelemetry): per-window metric series, the structured
+// event stream and its exporters.
+type TelemetryConfig = core.TelemetryConfig
+
+// Telemetry is the per-run observability state: the metrics registry
+// and the in-memory event recorder.
+type Telemetry = core.Telemetry

@@ -11,6 +11,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/traffic"
@@ -47,6 +48,19 @@ type System struct {
 
 	history *History
 	tracer  *trace.Tracer
+
+	// tel is the unified telemetry pipeline: every instrumented point in
+	// the system emits through this single sink. nil means disabled, and
+	// the nil check is the entire disabled-path cost (no allocations).
+	tel telemetry.Sink
+	// sinks holds the attached sinks individually so AttachSink can
+	// rebuild the tee.
+	sinks []telemetry.Sink
+	// telemetry is the per-window metrics collector (EnableTelemetry).
+	telemetry *Telemetry
+	// lastPhase tracks measurement phase transitions for PhaseChange
+	// events (-1 = none emitted yet).
+	lastPhase int
 }
 
 // board groups the per-board electrical components.
@@ -89,12 +103,13 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, err
 	}
 	s := &System{
-		cfg:  cfg,
-		top:  top,
-		eng:  eng,
-		fab:  fab,
-		ctl:  ctl,
-		meas: stats.NewMeasurement(cfg.WarmupCycles, cfg.MeasureCycles),
+		cfg:       cfg,
+		top:       top,
+		eng:       eng,
+		fab:       fab,
+		ctl:       ctl,
+		meas:      stats.NewMeasurement(cfg.WarmupCycles, cfg.MeasureCycles),
+		lastPhase: -1,
 	}
 	if err := s.assemble(); err != nil {
 		return nil, err
@@ -150,8 +165,8 @@ func (s *System) assemble() error {
 				bd.ibi.InputSink(n), cfg.VCs, cfg.BufDepth, cfg.FlitCyclesElec)
 			nic.OnDequeue = func(p *flit.Packet, now uint64) {
 				p.NetworkAt = now
-				if s.tracer != nil {
-					s.tracer.Record(trace.Event{Cycle: now, Kind: trace.NetEnter, Packet: p.ID, Board: p.SrcBoard, Wavelength: -1, Dest: -1})
+				if s.tel != nil {
+					s.tel.Emit(telemetry.Event{Cycle: now, Kind: telemetry.PacketNetEnter, Packet: uint64(p.ID), Board: p.SrcBoard, Wavelength: -1, Dest: -1})
 				}
 			}
 			bd.ibi.SetInputCreditSink(n, nic)
@@ -191,8 +206,8 @@ func (s *System) assemble() error {
 			bd.rxSources = append(bd.rxSources, rx)
 			bi, wl := bi, wl
 			s.fab.SetDeliver(bi, wl, func(p *flit.Packet, now uint64) {
-				if s.tracer != nil {
-					s.tracer.Record(trace.Event{Cycle: now, Kind: trace.OpticalArrive, Packet: p.ID, Board: bi, Wavelength: wl, Dest: bi})
+				if s.tel != nil {
+					s.tel.Emit(telemetry.Event{Cycle: now, Kind: telemetry.PacketOpticalArrive, Packet: uint64(p.ID), Board: bi, Wavelength: wl, Dest: bi})
 				}
 				rx.Enqueue(p)
 			})
@@ -255,13 +270,17 @@ func (s *System) onDeliver(p *flit.Packet, now uint64) {
 	if s.meas.Phase() == stats.Measure {
 		s.deliveredPerNode[p.Dst]++
 	}
-	if s.tracer != nil {
-		s.tracer.Record(trace.Event{Cycle: now, Kind: trace.Deliver, Packet: p.ID, Board: p.DstBoard, Wavelength: -1, Dest: -1})
+	if s.tel != nil {
+		s.tel.Emit(telemetry.Event{Cycle: now, Kind: telemetry.PacketDeliver, Packet: uint64(p.ID), Board: p.DstBoard, Wavelength: -1, Dest: -1})
+	}
+	if s.telemetry != nil {
+		s.telemetry.noteDelivery(p)
 	}
 	s.meas.OnDeliver(p.Labeled, p.Latency(), p.NetworkLatency())
 	// A delivered packet is fully consumed (all flits reassembled, stats
-	// recorded); recycle it unless a tracer may still refer to its ID or
-	// it carries control state.
+	// recorded); recycle it unless a tracer may still index its journey
+	// or it carries control state. Telemetry sinks copy the packet ID by
+	// value, so they do not inhibit recycling.
 	if s.tracer == nil && !p.Control {
 		s.freePkts = append(s.freePkts, p)
 	}
@@ -294,8 +313,8 @@ func (s *System) injectAll(now uint64) {
 		p.InjectedAt = now
 		p.Labeled = s.meas.OnInject(now)
 		s.injected++
-		if s.tracer != nil {
-			s.tracer.Record(trace.Event{Cycle: now, Kind: trace.Inject, Packet: p.ID, Board: p.SrcBoard, Wavelength: -1, Dest: -1})
+		if s.tel != nil {
+			s.tel.Emit(telemetry.Event{Cycle: now, Kind: telemetry.PacketInject, Packet: uint64(p.ID), Board: p.SrcBoard, Wavelength: -1, Dest: -1})
 		}
 		s.nics[n].Enqueue(p)
 	}
@@ -308,6 +327,13 @@ func (s *System) step(now uint64) {
 	// any component ticks, as when deliveries were engine events.
 	s.fab.DeliverDue(now)
 	s.meas.Advance(now)
+	if s.tel != nil {
+		if ph := int(s.meas.Phase()); ph != s.lastPhase {
+			s.lastPhase = ph
+			s.tel.Emit(telemetry.Event{Cycle: now, Kind: telemetry.PhaseChange,
+				Board: -1, Wavelength: -1, Dest: -1, Label: s.meas.Phase().String()})
+		}
+	}
 	if s.history == nil {
 		// Power metering tracks the measurement interval unless a history
 		// recorder keeps it on continuously.
@@ -342,30 +368,98 @@ func (s *System) step(now uint64) {
 	if s.history != nil {
 		s.history.observe(now)
 	}
+	if s.telemetry != nil {
+		s.telemetry.observe(now)
+	}
 	s.cycle = now
 }
 
-// AttachTracer wires a trace ring buffer into the packet lifecycle:
-// injections, network entry, laser queueing and transmission, optical
-// arrival, delivery, and DBR reassignments.
-func (s *System) AttachTracer(tr *trace.Tracer) {
-	s.tracer = tr
-	s.fab.SetObserver(fabObserver{tr})
+// AttachSink adds a telemetry sink to the unified event pipeline:
+// packet lifecycle (inject, net-enter, laser enqueue/transmit, optical
+// arrive, deliver), DBR reassignments, DPM level transitions, LS stage
+// entries, and measurement phase changes all flow through it. Multiple
+// sinks may be attached; they receive every event in order. Must be
+// called before stepping.
+func (s *System) AttachSink(sink telemetry.Sink) {
+	if sink == nil {
+		return
+	}
+	s.sinks = append(s.sinks, sink)
+	s.setSink(telemetry.Tee(s.sinks...))
 }
 
-// fabObserver adapts the optical Observer interface to the tracer.
-type fabObserver struct{ tr *trace.Tracer }
+// setSink points every instrumented component at the combined sink.
+func (s *System) setSink(sink telemetry.Sink) {
+	s.tel = sink
+	if sink == nil {
+		s.fab.SetObserver(nil)
+		s.ctl.SetSink(nil)
+		return
+	}
+	s.fab.SetObserver(fabObserver{sink})
+	s.ctl.SetSink(sink)
+}
+
+// AttachTracer wires a legacy trace ring buffer into the pipeline:
+// packet lifecycle events and DBR reassignments are re-emitted as
+// trace.Events with their historical field conventions, so Journey and
+// Dump output is unchanged. Internally the tracer is just one more
+// telemetry sink.
+func (s *System) AttachTracer(tr *trace.Tracer) {
+	s.tracer = tr
+	s.AttachSink(traceSink{tr})
+}
+
+// traceSink adapts the telemetry pipeline back onto a trace.Tracer,
+// preserving the historical kind set and field conventions (stage,
+// phase and laser-level events have no trace equivalent and are
+// dropped).
+type traceSink struct{ tr *trace.Tracer }
+
+func (t traceSink) Emit(ev telemetry.Event) {
+	var k trace.Kind
+	switch ev.Kind {
+	case telemetry.PacketInject:
+		k = trace.Inject
+	case telemetry.PacketNetEnter:
+		k = trace.NetEnter
+	case telemetry.PacketLaserEnqueue:
+		k = trace.LaserEnqueue
+	case telemetry.PacketLaserTransmit:
+		k = trace.LaserTransmit
+	case telemetry.PacketOpticalArrive:
+		k = trace.OpticalArrive
+	case telemetry.PacketDeliver:
+		k = trace.Deliver
+	case telemetry.ChannelReassign:
+		k = trace.Reassign
+	default:
+		return
+	}
+	t.tr.Record(trace.Event{Cycle: ev.Cycle, Kind: k, Packet: flit.PacketID(ev.Packet),
+		Board: ev.Board, Wavelength: ev.Wavelength, Dest: ev.Dest})
+}
+
+// fabObserver adapts the optical Observer interface to the telemetry
+// pipeline.
+type fabObserver struct{ sink telemetry.Sink }
 
 func (o fabObserver) LaserEnqueue(sb, w, d int, p *flit.Packet, now uint64) {
-	o.tr.Record(trace.Event{Cycle: now, Kind: trace.LaserEnqueue, Packet: p.ID, Board: sb, Wavelength: w, Dest: d})
+	o.sink.Emit(telemetry.Event{Cycle: now, Kind: telemetry.PacketLaserEnqueue, Packet: uint64(p.ID), Board: sb, Wavelength: w, Dest: d})
 }
 
 func (o fabObserver) LaserTransmit(sb, w, d int, p *flit.Packet, now uint64) {
-	o.tr.Record(trace.Event{Cycle: now, Kind: trace.LaserTransmit, Packet: p.ID, Board: sb, Wavelength: w, Dest: d})
+	o.sink.Emit(telemetry.Event{Cycle: now, Kind: telemetry.PacketLaserTransmit, Packet: uint64(p.ID), Board: sb, Wavelength: w, Dest: d})
 }
 
 func (o fabObserver) ChannelReassign(d, w, from, to int, now uint64) {
-	o.tr.Record(trace.Event{Cycle: now, Kind: trace.Reassign, Board: to, Wavelength: w, Dest: d})
+	// Board carries the new holder, matching the historical trace field
+	// convention for reassignments.
+	o.sink.Emit(telemetry.Event{Cycle: now, Kind: telemetry.ChannelReassign, Board: to, Wavelength: w, Dest: d, From: from, To: to})
+}
+
+func (o fabObserver) LaserLevel(sb, w, d, from, to int, now uint64) {
+	o.sink.Emit(telemetry.Event{Cycle: now, Kind: telemetry.LaserLevel, Board: sb, Wavelength: w, Dest: d, From: from, To: to})
 }
 
 // SetInjectionRate changes every node's mean injection rate mid-run

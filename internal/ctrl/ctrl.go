@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/optical"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -160,6 +161,9 @@ type System struct {
 	// traceStages, when set, appends protocol stage events.
 	traceStages bool
 	trace       []StageEvent
+	// sink, when non-nil, receives every stage entry as a telemetry
+	// event (the unified pipeline; see SetSink).
+	sink telemetry.Sink
 }
 
 // NewSystem builds the controller system. Call Start to spawn the RC
@@ -198,15 +202,30 @@ func (s *System) Counters() Counters { return s.ctr }
 // RC returns board b's reconfiguration controller.
 func (s *System) RC(b int) *RC { return s.rcs[b] }
 
-// EnableTrace records LS stage events (Fig. 4).
+// EnableTrace records LS stage events (Fig. 4) into the in-memory
+// StageEvent slice. New consumers should prefer SetSink, the unified
+// telemetry pipeline; this remains for protocol-order tests that want
+// the events as structs.
 func (s *System) EnableTrace() { s.traceStages = true }
 
 // Trace returns the recorded stage events.
 func (s *System) Trace() []StageEvent { return s.trace }
 
+// SetSink attaches a telemetry sink (nil detaches): every LS stage
+// entry is emitted as a telemetry.StageEnter event with the RC's board
+// and the stage name as label. core.System wires this automatically
+// when a sink is attached to it.
+func (s *System) SetSink(sink telemetry.Sink) { s.sink = sink }
+
 func (s *System) stage(board int, name string) {
 	if s.traceStages {
 		s.trace = append(s.trace, StageEvent{Cycle: s.eng.Now(), Board: board, Stage: name})
+	}
+	if s.sink != nil {
+		s.sink.Emit(telemetry.Event{
+			Cycle: s.eng.Now(), Kind: telemetry.StageEnter,
+			Board: board, Wavelength: -1, Dest: -1, Label: name,
+		})
 	}
 }
 

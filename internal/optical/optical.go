@@ -142,6 +142,9 @@ type Laser struct {
 
 	transitions uint64
 	sentPackets uint64
+	// busyCycles counts cycles spent serializing, cumulatively. Idle
+	// (off-list) lasers are never busy, so the count needs no batching.
+	busyCycles uint64
 
 	active      bool    // on the fabric's active list
 	statsAt     uint64  // cycle through which LinkWin/BufWin are accounted
@@ -170,6 +173,9 @@ func (l *Laser) Transitions() uint64 { return l.transitions }
 // Sent returns the number of packets transmitted.
 func (l *Laser) Sent() uint64 { return l.sentPackets }
 
+// BusyCycles returns the cumulative cycles spent serializing packets.
+func (l *Laser) BusyCycles() uint64 { return l.busyCycles }
+
 // SetLevel changes the operating point, paying the relock penalty when
 // the level actually changes. Changing to Off does not pay a penalty
 // (the link is simply shut down); waking from Off does.
@@ -180,6 +186,7 @@ func (l *Laser) SetLevel(level int, now, relockCycles uint64) {
 	if level == l.level {
 		return
 	}
+	from := l.level
 	l.transitions++
 	l.level = level
 	if l.ladder.Operating(level) {
@@ -190,6 +197,9 @@ func (l *Laser) SetLevel(level int, now, relockCycles uint64) {
 	}
 	if l.fab != nil {
 		l.fab.refreshIdle(l)
+		if l.fab.observer != nil {
+			l.fab.observer.LaserLevel(l.s, l.w, l.d, from, level, now)
+		}
 	}
 }
 
@@ -207,6 +217,9 @@ type Observer interface {
 	LaserTransmit(s, w, d int, p *flit.Packet, now uint64)
 	// ChannelReassign: channel (d,w) moved from one holder to another.
 	ChannelReassign(d, w, from, to int, now uint64)
+	// LaserLevel: laser (s,w→d) changed operating level from → to
+	// (level 0 is Off, so from==0 is a wake and to==0 a shutdown).
+	LaserLevel(s, w, d, from, to int, now uint64)
 }
 
 // Fabric is the complete optical subsystem of one cluster.
@@ -618,11 +631,64 @@ func (f *Fabric) tickLaser(l *Laser, now uint64) {
 		l.sentPackets++
 	}
 	busy := l.Busy(now)
+	if busy {
+		l.busyCycles++
+	}
 	l.LinkWin.Tick(busy)
 	l.BufWin.AddN(uint64(len(l.queue)), uint64(f.cfg.QueueCap))
 	l.statsAt = now + 1
 	if f.meterEnabled && lit && l.Operating() {
 		f.meter.AddCycleMW(f.cfg.Ladder.MW(l.level), busy)
+	}
+}
+
+// BoardStats is one board's transmit-side aggregate, sampled by the
+// telemetry collector once per reconfiguration window.
+type BoardStats struct {
+	// Held counts incoming channels this board currently drives.
+	Held int
+	// Lit counts held channels whose laser is at an operating level.
+	Lit int
+	// SupplyMW sums the supply power of the lit lasers (instantaneous).
+	SupplyMW float64
+	// LevelSum sums the lit lasers' ladder levels (for a mean level).
+	LevelSum int
+	// Queued counts packets waiting across all the board's laser queues.
+	Queued int
+	// TxBusyCycles sums the board's lasers' cumulative busy cycles;
+	// per-window deltas give the board's transmit occupancy.
+	TxBusyCycles uint64
+}
+
+// BoardStats fills st with board s's transmit-side aggregate. When
+// levelCounts is non-nil, each held channel's current level is
+// histogrammed into it (index = ladder level, 0 = Off); levels beyond
+// its length are dropped. The scan is O(B²) per board, intended to run
+// once per reconfiguration window, not per cycle.
+func (f *Fabric) BoardStats(s int, st *BoardStats, levelCounts []int) {
+	*st = BoardStats{}
+	b := f.top.Boards()
+	for w := 1; w < b; w++ {
+		for d := 0; d < b; d++ {
+			l := f.lasers[s][w][d]
+			if l == nil {
+				continue
+			}
+			st.Queued += len(l.queue)
+			st.TxBusyCycles += l.busyCycles
+			if f.channels[d][w].holder != s {
+				continue
+			}
+			st.Held++
+			if l.ladder.Operating(l.level) {
+				st.Lit++
+				st.SupplyMW += f.cfg.Ladder.MW(l.level)
+				st.LevelSum += l.level
+			}
+			if levelCounts != nil && l.level < len(levelCounts) {
+				levelCounts[l.level]++
+			}
+		}
 	}
 }
 

@@ -240,6 +240,15 @@ func (m *Meter) AvgDynamicMW() float64 {
 // ObservedCycles returns the number of cycles observed.
 func (m *Meter) ObservedCycles() uint64 { return m.cycles }
 
+// Integrals returns the raw accumulators: supply and dynamic power
+// integrals in mW·cycles, and the observed cycle count. Telemetry takes
+// deltas of these between reconfiguration windows, so per-window power
+// can be derived without resetting the meter out from under the
+// measurement driver.
+func (m *Meter) Integrals() (supplyMWCycles, dynamicMWCycles float64, cycles uint64) {
+	return m.supplyMWCycles, m.dynamicMWCycles, m.cycles
+}
+
 // Reset zeroes the meter (start of a measurement interval).
 func (m *Meter) Reset() {
 	m.supplyMWCycles = 0

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// dashRegistry builds a small registry shaped like a 2-board run: global
+// traffic/power series, level occupancy, and per-board groups, sampled
+// over 5 windows.
+func dashRegistry() *telemetry.Registry {
+	reg := telemetry.NewRegistry(64)
+	names := []string{
+		"inject_rate", "deliver_rate", "avg_latency",
+		"inst_supply_mw", "supply_mw", "dynamic_mw",
+		"level_off_channels", "level1_channels",
+		"reassignments",
+		"board0/supply_mw", "board0/held_channels",
+		"board1/supply_mw", "board1/held_channels",
+	}
+	for w := 0; w < 5; w++ {
+		for i, n := range names {
+			reg.Series(n, "").Push(float64(w + i))
+		}
+		reg.EndWindow(uint64(w+1), uint64((w+1)*2000))
+	}
+	return reg
+}
+
+func TestWriteDashboard(t *testing.T) {
+	var b strings.Builder
+	if err := WriteDashboard(&b, "unit <test> run", dashRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	if !strings.HasPrefix(out, "<!DOCTYPE html>") {
+		t.Error("dashboard is not a standalone HTML document")
+	}
+	if strings.Contains(out, "unit <test> run") {
+		t.Error("title not HTML-escaped")
+	}
+	if !strings.Contains(out, "unit &lt;test&gt; run") {
+		t.Error("escaped title missing")
+	}
+	if n := strings.Count(out, "<svg"); n < 6 {
+		t.Errorf("only %d SVG panels rendered, want >= 6 (traffic, latency, power, levels, reconfig, per-board)", n)
+	}
+	if !strings.Contains(out, "5 windows sampled") {
+		t.Error("window count missing from the meta line")
+	}
+	for _, title := range []string{
+		"Traffic", "Mean packet latency", "Optical link power",
+		"DPM level occupancy", "Reconfiguration actions",
+		"Per-board supply power", "DBR held channels per board",
+	} {
+		if !strings.Contains(out, title) {
+			t.Errorf("panel %q missing", title)
+		}
+	}
+	// Two boards discovered from the naming convention → legend entries.
+	if !strings.Contains(out, "board 0") || !strings.Contains(out, "board 1") {
+		t.Error("per-board legend entries missing")
+	}
+	if n := strings.Count(out, "<polyline"); n < 13 {
+		t.Errorf("only %d polylines rendered, want one per (panel, series)", n)
+	}
+}
+
+// TestWriteDashboardEmpty: a registry with no windows must still render a
+// valid page (panels degrade to a note) rather than divide by zero.
+func TestWriteDashboardEmpty(t *testing.T) {
+	reg := telemetry.NewRegistry(8)
+	reg.Series("inject_rate", "pkt/cycle") // series exists, no samples
+	var b strings.Builder
+	if err := WriteDashboard(&b, "empty", reg); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "0 windows sampled") {
+		t.Error("empty dashboard missing meta line")
+	}
+	if strings.Contains(out, "<polyline") {
+		t.Error("empty dashboard should not render any polylines")
+	}
+}

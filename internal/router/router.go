@@ -300,6 +300,11 @@ func (r *Router) HasWork() bool {
 	return r.bufTotal > 0 || r.activeVCs > 0 || r.credTotal > 0
 }
 
+// BufferedTotal returns the number of flits buffered across all input
+// VCs. O(1): it reads the maintained activity counter, so telemetry can
+// sample buffer occupancy every window without scanning ports.
+func (r *Router) BufferedTotal() int { return r.bufTotal }
+
 // Tick advances the router one cycle. now must increase by exactly one
 // between calls for utilization accounting to be meaningful.
 func (r *Router) Tick(now uint64) {

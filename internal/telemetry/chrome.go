@@ -1,0 +1,281 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Chrome trace_event export: turns a recorded run into the JSON array
+// format understood by Perfetto (ui.perfetto.dev) and chrome://tracing.
+//
+// Mapping:
+//   - pid 0 is the "system" process (phase boundaries, global
+//     counters); pid b+1 is "board b".
+//   - Stage entries, packet lifecycle and laser/channel transitions
+//     become instant events ("ph":"i") on tids 1..3 of their board's
+//     process; phase changes are global-scoped instants on pid 0.
+//   - Registry time series become counter events ("ph":"C"); a series
+//     named "boardN/x" is attached to pid N+1 as counter "x", others to
+//     pid 0 under their full name.
+//   - Timestamps are microseconds: cycle * cycleNS / 1000.
+type chromeWriter struct {
+	bw      *bufio.Writer
+	buf     []byte
+	first   bool
+	cycleNS float64
+	err     error
+}
+
+func (c *chromeWriter) record(fill func(b []byte) []byte) {
+	if c.err != nil {
+		return
+	}
+	c.buf = c.buf[:0]
+	if c.first {
+		c.first = false
+		c.buf = append(c.buf, "[\n"...)
+	} else {
+		c.buf = append(c.buf, ",\n"...)
+	}
+	c.buf = fill(c.buf)
+	if _, err := c.bw.Write(c.buf); err != nil {
+		c.err = err
+	}
+}
+
+func (c *chromeWriter) ts(b []byte, cycle uint64) []byte {
+	return strconv.AppendFloat(b, float64(cycle)*c.cycleNS/1000.0, 'g', -1, 64)
+}
+
+// meta emits a process_name metadata record.
+func (c *chromeWriter) meta(pid int, name string) {
+	c.record(func(b []byte) []byte {
+		b = append(b, `{"ph":"M","pid":`...)
+		b = strconv.AppendInt(b, int64(pid), 10)
+		b = append(b, `,"tid":0,"name":"process_name","args":{"name":`...)
+		b = strconv.AppendQuote(b, name)
+		b = append(b, `}}`...)
+		return b
+	})
+}
+
+// instant emits an instant event; scope "g" makes it span the whole
+// timeline (used for phase boundaries).
+func (c *chromeWriter) instant(pid, tid int, cycle uint64, name, scope string, args map[string]int64) {
+	c.record(func(b []byte) []byte {
+		b = append(b, `{"ph":"i","pid":`...)
+		b = strconv.AppendInt(b, int64(pid), 10)
+		b = append(b, `,"tid":`...)
+		b = strconv.AppendInt(b, int64(tid), 10)
+		b = append(b, `,"ts":`...)
+		b = c.ts(b, cycle)
+		b = append(b, `,"name":`...)
+		b = strconv.AppendQuote(b, name)
+		if scope != "" {
+			b = append(b, `,"s":`...)
+			b = strconv.AppendQuote(b, scope)
+		}
+		if len(args) > 0 {
+			b = append(b, `,"args":{`...)
+			// Keys in a fixed order for deterministic output.
+			for i, k := range chromeArgOrder {
+				v, ok := args[k]
+				if !ok {
+					continue
+				}
+				if i > 0 && b[len(b)-1] != '{' {
+					b = append(b, ',')
+				}
+				b = strconv.AppendQuote(b, k)
+				b = append(b, ':')
+				b = strconv.AppendInt(b, v, 10)
+			}
+			b = append(b, '}')
+		}
+		b = append(b, '}')
+		return b
+	})
+}
+
+// chromeArgOrder fixes the arg serialization order so output is
+// byte-deterministic.
+var chromeArgOrder = []string{"packet", "wavelength", "dest", "from", "to"}
+
+// counter emits a counter sample.
+func (c *chromeWriter) counter(pid int, cycle uint64, name string, v float64) {
+	c.record(func(b []byte) []byte {
+		b = append(b, `{"ph":"C","pid":`...)
+		b = strconv.AppendInt(b, int64(pid), 10)
+		b = append(b, `,"tid":0,"ts":`...)
+		b = c.ts(b, cycle)
+		b = append(b, `,"name":`...)
+		b = strconv.AppendQuote(b, name)
+		b = append(b, `,"args":{"value":`...)
+		b = appendFloat(b, v)
+		b = append(b, `}}`...)
+		return b
+	})
+}
+
+// threadNameFor maps event kinds to a per-board tid + thread name.
+func threadNameFor(k Kind) (int, string) {
+	switch k {
+	case StageEnter:
+		return 1, "lock-step"
+	case PacketInject, PacketNetEnter, PacketLaserEnqueue,
+		PacketLaserTransmit, PacketOpticalArrive, PacketDeliver:
+		return 2, "packets"
+	default: // LaserLevel, ChannelReassign
+		return 3, "reconfig"
+	}
+}
+
+// boardSeries splits a "boardN/metric" series name into (N, "metric");
+// ok is false for global series.
+func boardSeries(name string) (board int, metric string, ok bool) {
+	if !strings.HasPrefix(name, "board") {
+		return 0, "", false
+	}
+	rest := name[len("board"):]
+	slash := strings.IndexByte(rest, '/')
+	if slash <= 0 {
+		return 0, "", false
+	}
+	n, err := strconv.Atoi(rest[:slash])
+	if err != nil || n < 0 {
+		return 0, "", false
+	}
+	return n, rest[slash+1:], true
+}
+
+// WriteChromeTrace writes events (and, when reg is non-nil, its
+// per-window series as counter tracks) as a Chrome trace_event JSON
+// array. cycleNS is the simulated cycle time in nanoseconds (used to
+// place events on a microsecond timeline); boards sizes the process
+// metadata. The output loads directly in Perfetto.
+func WriteChromeTrace(w io.Writer, events []Event, reg *Registry, cycleNS float64, boards int) error {
+	if cycleNS <= 0 {
+		cycleNS = 1
+	}
+	cw := &chromeWriter{
+		bw:      bufio.NewWriterSize(w, 1<<16),
+		buf:     make([]byte, 0, 256),
+		first:   true,
+		cycleNS: cycleNS,
+	}
+
+	cw.meta(0, "system")
+	for b := 0; b < boards; b++ {
+		cw.meta(b+1, "board "+strconv.Itoa(b))
+	}
+	// Thread names per board so Perfetto rows are labelled.
+	for b := 0; b < boards; b++ {
+		for _, t := range []struct {
+			tid  int
+			name string
+		}{{1, "lock-step"}, {2, "packets"}, {3, "reconfig"}} {
+			cw.record(func(buf []byte) []byte {
+				buf = append(buf, `{"ph":"M","pid":`...)
+				buf = strconv.AppendInt(buf, int64(b+1), 10)
+				buf = append(buf, `,"tid":`...)
+				buf = strconv.AppendInt(buf, int64(t.tid), 10)
+				buf = append(buf, `,"name":"thread_name","args":{"name":`...)
+				buf = strconv.AppendQuote(buf, t.name)
+				buf = append(buf, `}}`...)
+				return buf
+			})
+		}
+	}
+
+	for _, ev := range events {
+		switch ev.Kind {
+		case PhaseChange:
+			cw.instant(0, 0, ev.Cycle, "phase: "+ev.Label, "g", nil)
+		case StageEnter:
+			pid := ev.Board + 1
+			if ev.Board < 0 {
+				pid = 0
+			}
+			cw.instant(pid, 1, ev.Cycle, ev.Label, "t", nil)
+		case LaserLevel:
+			pid := ev.Board + 1
+			if ev.Board < 0 {
+				pid = 0
+			}
+			name := "level"
+			switch {
+			case ev.From == 0 && ev.To > 0:
+				name = "laser-on"
+			case ev.To == 0:
+				name = "laser-off"
+			}
+			cw.instant(pid, 3, ev.Cycle, name, "t", map[string]int64{
+				"wavelength": int64(ev.Wavelength),
+				"dest":       int64(ev.Dest),
+				"from":       int64(ev.From),
+				"to":         int64(ev.To),
+			})
+		case ChannelReassign:
+			pid := ev.Board + 1
+			if ev.Board < 0 {
+				pid = 0
+			}
+			cw.instant(pid, 3, ev.Cycle, "reassign", "t", map[string]int64{
+				"wavelength": int64(ev.Wavelength),
+				"dest":       int64(ev.Dest),
+				"from":       int64(ev.From),
+				"to":         int64(ev.To),
+			})
+		default: // packet lifecycle
+			pid := ev.Board + 1
+			if ev.Board < 0 {
+				pid = 0
+			}
+			tid, _ := threadNameFor(ev.Kind)
+			args := map[string]int64{"packet": int64(ev.Packet)}
+			if ev.Wavelength >= 0 {
+				args["wavelength"] = int64(ev.Wavelength)
+			}
+			if ev.Dest >= 0 {
+				args["dest"] = int64(ev.Dest)
+			}
+			cw.instant(pid, tid, ev.Cycle, ev.Kind.String(), "t", args)
+		}
+	}
+
+	if reg != nil {
+		marks := reg.Windows()
+		for _, name := range reg.SeriesNames() {
+			s := reg.Lookup(name)
+			if s == nil {
+				continue
+			}
+			vals := s.Values()
+			pid, counterName := 0, name
+			if b, metric, ok := boardSeries(name); ok && b+1 <= boards {
+				pid, counterName = b+1, metric
+			}
+			for i, v := range vals {
+				if i >= len(marks) {
+					break
+				}
+				cw.counter(pid, marks[i].EndCycle, counterName, v)
+			}
+		}
+	}
+
+	if cw.err != nil {
+		return cw.err
+	}
+	if cw.first { // no records at all
+		if _, err := cw.bw.WriteString("[\n"); err != nil {
+			return err
+		}
+	}
+	if _, err := cw.bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return cw.bw.Flush()
+}

@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// AppendEvent encodes ev as one JSON object (no trailing newline) in
+// the stable JSONL schema:
+//
+//	{"cycle":C,"kind":"K"[,"packet":P][,"board":B][,"wavelength":W]
+//	 [,"dest":D][,"from":F,"to":T][,"label":"L"]}
+//
+// Field order is fixed; inapplicable fields are omitted (packet when 0,
+// board/wavelength/dest when negative, from/to unless the kind carries
+// a transition, label when empty). The encoding is hand-rolled on
+// strconv so emitting to a buffered writer does not allocate.
+func AppendEvent(b []byte, ev Event) []byte {
+	b = append(b, `{"cycle":`...)
+	b = strconv.AppendUint(b, ev.Cycle, 10)
+	b = append(b, `,"kind":"`...)
+	if ev.Kind < numKinds {
+		b = append(b, kindNames[ev.Kind]...)
+	}
+	b = append(b, '"')
+	if ev.Packet != 0 {
+		b = append(b, `,"packet":`...)
+		b = strconv.AppendUint(b, ev.Packet, 10)
+	}
+	if ev.Board >= 0 {
+		b = append(b, `,"board":`...)
+		b = strconv.AppendInt(b, int64(ev.Board), 10)
+	}
+	if ev.Wavelength >= 0 {
+		b = append(b, `,"wavelength":`...)
+		b = strconv.AppendInt(b, int64(ev.Wavelength), 10)
+	}
+	if ev.Dest >= 0 {
+		b = append(b, `,"dest":`...)
+		b = strconv.AppendInt(b, int64(ev.Dest), 10)
+	}
+	if ev.Kind.HasTransition() {
+		b = append(b, `,"from":`...)
+		b = strconv.AppendInt(b, int64(ev.From), 10)
+		b = append(b, `,"to":`...)
+		b = strconv.AppendInt(b, int64(ev.To), 10)
+	}
+	if ev.Label != "" {
+		b = append(b, `,"label":`...)
+		b = strconv.AppendQuote(b, ev.Label)
+	}
+	b = append(b, '}')
+	return b
+}
+
+// JSONL is a Sink that streams events as JSON Lines to a writer.
+// Emitting reuses an internal buffer, so the steady-state per-event
+// cost is one buffered write and zero allocations.
+type JSONL struct {
+	bw  *bufio.Writer
+	buf []byte
+	err error
+}
+
+// NewJSONL creates a JSONL sink writing to w. Call Flush before the
+// writer is closed.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{bw: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 256)}
+}
+
+// Emit implements Sink. Write errors are sticky and reported by Flush.
+func (j *JSONL) Emit(ev Event) {
+	if j.err != nil {
+		return
+	}
+	j.buf = AppendEvent(j.buf[:0], ev)
+	j.buf = append(j.buf, '\n')
+	if _, err := j.bw.Write(j.buf); err != nil {
+		j.err = err
+	}
+}
+
+// Flush drains the buffer and returns the first write error, if any.
+func (j *JSONL) Flush() error {
+	if j.err != nil {
+		return j.err
+	}
+	return j.bw.Flush()
+}
+
+// eventJSON mirrors the JSONL schema for decoding in tests and tools.
+type eventJSON struct {
+	Cycle      uint64  `json:"cycle"`
+	Kind       string  `json:"kind"`
+	Packet     uint64  `json:"packet"`
+	Board      *int    `json:"board"`
+	Wavelength *int    `json:"wavelength"`
+	Dest       *int    `json:"dest"`
+	From       *int    `json:"from"`
+	To         *int    `json:"to"`
+	Label      string  `json:"label"`
+}
+
+// ParseEvent decodes one JSONL line back into an Event. Omitted
+// optional fields are restored to their canonical zero forms (-1 for
+// board/wavelength/dest, 0 for packet/from/to, "" for label).
+func ParseEvent(line []byte) (Event, error) {
+	var raw eventJSON
+	if err := json.Unmarshal(line, &raw); err != nil {
+		return Event{}, fmt.Errorf("telemetry: bad event line: %w", err)
+	}
+	kind, err := KindFromString(raw.Kind)
+	if err != nil {
+		return Event{}, err
+	}
+	ev := Event{
+		Cycle:      raw.Cycle,
+		Kind:       kind,
+		Packet:     raw.Packet,
+		Board:      -1,
+		Wavelength: -1,
+		Dest:       -1,
+		Label:      raw.Label,
+	}
+	if raw.Board != nil {
+		ev.Board = *raw.Board
+	}
+	if raw.Wavelength != nil {
+		ev.Wavelength = *raw.Wavelength
+	}
+	if raw.Dest != nil {
+		ev.Dest = *raw.Dest
+	}
+	if raw.From != nil {
+		ev.From = *raw.From
+	}
+	if raw.To != nil {
+		ev.To = *raw.To
+	}
+	return ev, nil
+}
