@@ -40,6 +40,7 @@ func main() {
 		measure = flag.Uint64("measure", 10000, "measurement cycles")
 		drain   = flag.Uint64("drain", 300000, "drain limit cycles")
 		lsTrace = flag.Bool("trace", false, "print the Lock-Step protocol stage trace (Fig. 4)")
+		faults  = flag.String("faults", "", "load a JSON fault-injection spec (see internal/fault)")
 		cfgPath = flag.String("config", "", "load a JSON config file (flags override it)")
 		dump    = flag.String("dump-config", "", "write the effective config as JSON and exit")
 		journey = flag.Int("journey", 0, "after the run, print the traced journeys of N delivered packets")
@@ -84,6 +85,14 @@ func main() {
 	cfg.WarmupCycles = *warmup
 	cfg.MeasureCycles = *measure
 	cfg.DrainLimitCycles = *drain
+	if *faults != "" {
+		spec, err := erapid.LoadFaultSpec(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Faults = spec
+	}
 
 	if *dump != "" {
 		if err := core.SaveConfig(*dump, cfg); err != nil {
@@ -243,6 +252,17 @@ func printResult(r *core.Result, cfg core.Config) {
 		r.Ctrl.Reassignments, r.Ctrl.Reclaims, r.Ctrl.FailedMoves, r.Ctrl.MessagesSent)
 	fmt.Printf("  power management      %d ups, %d downs, %d shutdowns, %d wakes\n",
 		r.Ctrl.LevelUps, r.Ctrl.LevelDowns, r.Ctrl.Shutdowns, r.Wakes)
+	if r.DegradedWindows != nil {
+		f := r.Faults
+		degraded := uint64(0)
+		for _, w := range r.DegradedWindows {
+			degraded += w
+		}
+		fmt.Printf("  faults                %d kills, %d degrades, %d sticks, %d ctrl drops, %d ctrl delays\n",
+			f.LaserKills, f.LaserDegrades, f.LevelSticks, f.CtrlDrops, f.CtrlDelays)
+		fmt.Printf("  availability          %.4f delivered fraction, %d dropped by fault, %d degraded board-windows, %d fault repairs\n",
+			r.DeliveredFraction, r.DroppedByFault, degraded, r.Ctrl.FaultRepairs)
+	}
 	fmt.Printf("  simulated             %d cycles, injected %d, delivered %d",
 		r.Cycles, r.Injected, r.Delivered)
 	if r.Truncated {

@@ -28,6 +28,7 @@ package erapid
 
 import (
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/sweep"
 	"repro/internal/traffic"
 )
@@ -129,3 +130,29 @@ type TelemetryConfig = core.TelemetryConfig
 // Telemetry is the per-run observability state: the metrics registry
 // and the in-memory event recorder.
 type Telemetry = core.Telemetry
+
+// FaultSpec is a deterministic fault-injection scenario: scheduled
+// laser kills/degrades, DPM actuator sticks, control-ring outages, and
+// background fault rates. Assign one to Config.Faults.
+type FaultSpec = fault.Spec
+
+// FaultEvent is one scheduled fault in a FaultSpec.
+type FaultEvent = fault.Event
+
+// FaultCounters summarizes everything the injector did during a run
+// (Result.Faults).
+type FaultCounters = fault.Counters
+
+// Scheduled fault kinds for FaultEvent.Kind.
+const (
+	FaultLaserKill    = fault.KindLaserKill
+	FaultLaserDegrade = fault.KindLaserDegrade
+	FaultLevelStick   = fault.KindLevelStick
+	FaultCtrlOutage   = fault.KindCtrlOutage
+)
+
+// LoadFaultSpec reads and validates a JSON fault spec file.
+func LoadFaultSpec(path string) (*FaultSpec, error) { return fault.LoadSpec(path) }
+
+// ParseFaultSpec decodes and validates a JSON fault spec.
+func ParseFaultSpec(data []byte) (*FaultSpec, error) { return fault.ParseSpec(data) }

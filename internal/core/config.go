@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ctrl"
+	"repro/internal/fault"
 	"repro/internal/power"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -70,6 +71,11 @@ type Config struct {
 	// DrainLimitCycles caps the drain phase; runs that exceed it report
 	// Truncated=true (deeply saturated points).
 	DrainLimitCycles uint64
+
+	// Faults, when non-nil and non-empty, attaches a deterministic fault
+	// injector driven by this spec (see internal/fault). An empty spec
+	// behaves bit-identically to nil.
+	Faults *fault.Spec `json:"Faults,omitempty"`
 }
 
 // DefaultConfig returns the paper's 64-node operating point for a mode.
@@ -142,6 +148,11 @@ func (c Config) Validate() (*topology.Topology, error) {
 	if _, err := traffic.New(c.Pattern, top.TotalNodes()); err != nil {
 		return nil, err
 	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	return top, nil
 }
 
@@ -194,5 +205,11 @@ func (c Config) ctrlConfig() ctrl.Config {
 	cc := ctrl.DefaultConfig(c.Mode.PowerAware(), c.Mode.BandwidthReconfig())
 	cc.Window = c.Window
 	cc.MaxHold = c.MaxHold
+	if c.Faults.HasCtrlFaults() {
+		// Bound every ring receive so a lost Board Request cannot wedge a
+		// window: one full ring circulation plus slack, doubling per retry.
+		cc.RecvTimeoutCycles = 4 * uint64(c.Boards) * cc.RingHopCycles
+		cc.RecvRetries = 2
+	}
 	return cc
 }

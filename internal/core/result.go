@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/ctrl"
+	"repro/internal/fault"
 )
 
 // Result summarizes one simulation run.
@@ -59,6 +60,25 @@ type Result struct {
 	// 1.0 when every node receives equally, 1/N when one node receives
 	// everything. 0 when nothing was delivered.
 	Fairness float64
+
+	// Availability metrics (meaningful under fault injection; on healthy
+	// runs DeliveredFraction still reports delivered/injected and the rest
+	// are zero).
+	//
+	// DeliveredFraction is the fraction of labeled (measurement-interval)
+	// packets that were delivered rather than destroyed by a fault,
+	// following the same labeled-packet methodology as the latency
+	// metrics: the drain phase runs labeled packets to completion, so on
+	// non-truncated runs this is exactly 1 - (labeled fault drops /
+	// labeled injected). 1.0 when nothing was labeled.
+	DeliveredFraction float64
+	// DroppedByFault counts packets destroyed by fault injection.
+	DroppedByFault uint64
+	// DegradedWindows, per board, counts reconfiguration windows the
+	// board spent with at least one impaired laser. Nil without faults.
+	DegradedWindows []uint64
+	// Faults summarizes the injector's actions (zero without faults).
+	Faults fault.Counters
 }
 
 // NormalizedThroughput returns throughput as a fraction of uniform N_c.
@@ -80,6 +100,9 @@ func (r *Result) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s/%s load=%.2f thr=%.5f pkt/node/cyc lat=%.0f cyc p95=%.0f pwr=%.1f mW",
 		r.Mode, r.Pattern, r.Load, r.Throughput, r.AvgLatency, r.P95Latency, r.PowerDynamicMW)
+	if r.DegradedWindows != nil {
+		fmt.Fprintf(&b, " delivered=%.4f dropped=%d", r.DeliveredFraction, r.DroppedByFault)
+	}
 	if r.Truncated {
 		b.WriteString(" [truncated]")
 	}

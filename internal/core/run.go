@@ -71,6 +71,16 @@ func (s *System) result(cycles uint64, truncated bool) *Result {
 		Truncated: truncated,
 		Injected:  s.injected,
 		Delivered: s.delivered,
+
+		DroppedByFault: s.droppedByFault,
+	}
+	r.DeliveredFraction = 1
+	if li := m.LabeledInjected(); li > 0 {
+		r.DeliveredFraction = float64(m.LabeledDelivered()) / float64(li)
+	}
+	if s.faults != nil {
+		r.DegradedWindows = s.faults.DegradedWindows()
+		r.Faults = s.faults.Counters()
 	}
 	if m.DeliveredInMeasure() > 0 {
 		bits := float64(m.DeliveredInMeasure()) * float64(cfg.PacketBytes*8)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ctrl"
+	"repro/internal/fault"
 	"repro/internal/flit"
 	"repro/internal/link"
 	"repro/internal/optical"
@@ -26,6 +27,9 @@ type System struct {
 	fab  *optical.Fabric
 	ctl  *ctrl.System
 	meas *stats.Measurement
+	// faults is the fault injector, nil on healthy runs (the healthy hot
+	// path pays exactly one nil check per cycle).
+	faults *fault.Injector
 
 	boards    []*board
 	injectors []traffic.Source
@@ -40,6 +44,9 @@ type System struct {
 
 	injected  uint64
 	delivered uint64
+	// droppedByFault counts packets destroyed by fault injection (queued
+	// or routed into a permanently failed laser).
+	droppedByFault uint64
 	// deliveredPerNode counts measurement-phase deliveries per destination
 	// node, for the fairness index.
 	deliveredPerNode []uint64
@@ -110,6 +117,17 @@ func NewSystem(cfg Config) (*System, error) {
 		ctl:       ctl,
 		meas:      stats.NewMeasurement(cfg.WarmupCycles, cfg.MeasureCycles),
 		lastPhase: -1,
+	}
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		inj, err := fault.New(fab, cfg.Window, cfg.Seed, cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		s.faults = inj
+		fab.SetDropHook(s.onFaultDrop)
+		if cfg.Faults.HasCtrlFaults() {
+			ctl.SetRingFault(inj)
+		}
 	}
 	if err := s.assemble(); err != nil {
 		return nil, err
@@ -286,6 +304,21 @@ func (s *System) onDeliver(p *flit.Packet, now uint64) {
 	}
 }
 
+// onFaultDrop is the fabric's drop hook: a fault destroyed a packet
+// that will never be delivered. It keeps the labeled-packet accounting
+// balanced so the drain phase still terminates, and recycles the packet
+// under the same conditions as delivery.
+func (s *System) onFaultDrop(p *flit.Packet, now uint64) {
+	s.droppedByFault++
+	s.meas.OnDrop(p.Labeled)
+	if s.tel != nil {
+		s.tel.Emit(telemetry.Event{Cycle: now, Kind: telemetry.PacketDropFault, Packet: uint64(p.ID), Board: p.SrcBoard, Wavelength: -1, Dest: p.DstBoard})
+	}
+	if s.tracer == nil && !p.Control {
+		s.freePkts = append(s.freePkts, p)
+	}
+}
+
 // injectAll steps every node's Bernoulli process for one cycle.
 func (s *System) injectAll(now uint64) {
 	for n, inj := range s.injectors {
@@ -326,6 +359,11 @@ func (s *System) step(now uint64) {
 	// Completed optical transmissions enqueue into the rx sources before
 	// any component ticks, as when deliveries were engine events.
 	s.fab.DeliverDue(now)
+	if s.faults != nil {
+		// Faults strike before the measurement advances so a kill's drops
+		// are counted in the same cycle's phase accounting.
+		s.faults.Tick(now)
+	}
 	s.meas.Advance(now)
 	if s.tel != nil {
 		if ph := int(s.meas.Phase()); ph != s.lastPhase {
@@ -391,6 +429,9 @@ func (s *System) AttachSink(sink telemetry.Sink) {
 // setSink points every instrumented component at the combined sink.
 func (s *System) setSink(sink telemetry.Sink) {
 	s.tel = sink
+	if s.faults != nil {
+		s.faults.SetSink(sink)
+	}
 	if sink == nil {
 		s.fab.SetObserver(nil)
 		s.ctl.SetSink(nil)
@@ -494,6 +535,21 @@ func (s *System) InjectedCount() uint64 { return s.injected }
 
 // DeliveredCount returns the number of packets delivered so far.
 func (s *System) DeliveredCount() uint64 { return s.delivered }
+
+// DroppedByFault returns the number of packets destroyed by fault
+// injection so far.
+func (s *System) DroppedByFault() uint64 { return s.droppedByFault }
+
+// FaultInjector returns the attached fault injector, or nil on healthy
+// runs.
+func (s *System) FaultInjector() *fault.Injector { return s.faults }
+
+// Quiescent reports whether every injected packet has been accounted
+// for: delivered or destroyed by a fault, with nothing in flight. It is
+// the conservation invariant fault tests drain to.
+func (s *System) Quiescent() bool {
+	return s.injected == s.delivered+s.droppedByFault
+}
 
 // Engine exposes the simulation engine (examples and tests).
 func (s *System) Engine() *sim.Engine { return s.eng }

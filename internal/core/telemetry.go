@@ -69,6 +69,12 @@ type Telemetry struct {
 	sWakes       *telemetry.TimeSeries
 	sLevels      []*telemetry.TimeSeries // per ladder level, lit-channel occupancy
 	sBoards      []boardSeries
+
+	// Fault series (created only when the system has a fault injector).
+	sFailedLasers *telemetry.TimeSeries
+	sDropsFault   *telemetry.TimeSeries
+	sFaultRepairs *telemetry.TimeSeries
+	lastDropped   uint64
 }
 
 // boardSeries caches one board's per-window series handles.
@@ -139,6 +145,11 @@ func (t *Telemetry) buildSeries() {
 	t.sLevelDowns = reg.Series("level_downs", "1/window")
 	t.sShutdowns = reg.Series("shutdowns", "1/window")
 	t.sWakes = reg.Series("wakes", "1/window")
+	if t.sys.faults != nil {
+		t.sFailedLasers = reg.Series("failed_lasers", "lasers")
+		t.sDropsFault = reg.Series("dropped_by_fault", "pkt/window")
+		t.sFaultRepairs = reg.Series("fault_repairs", "1/window")
+	}
 
 	ladder := t.sys.fab.Config().Ladder
 	t.levelCounts = make([]int, ladder.Top()+1)
@@ -215,6 +226,9 @@ func (t *Telemetry) observe(now uint64) {
 	t.sLevelUps.Push(float64(ctr.LevelUps - t.lastCtrl.LevelUps))
 	t.sLevelDowns.Push(float64(ctr.LevelDowns - t.lastCtrl.LevelDowns))
 	t.sShutdowns.Push(float64(ctr.Shutdowns - t.lastCtrl.Shutdowns))
+	if t.sFaultRepairs != nil {
+		t.sFaultRepairs.Push(float64(ctr.FaultRepairs - t.lastCtrl.FaultRepairs))
+	}
 	t.lastCtrl = ctr
 	wakes := s.fab.Wakes()
 	t.sWakes.Push(float64(wakes - t.lastWakes))
@@ -224,8 +238,10 @@ func (t *Telemetry) observe(now uint64) {
 		t.levelCounts[lv] = 0
 	}
 	instMW := 0.0
+	failed := 0
 	for bi := range t.sBoards {
 		s.fab.BoardStats(bi, &t.bstats, t.levelCounts)
+		failed += t.bstats.Failed
 		bs := &t.bstats
 		sb := &t.sBoards[bi]
 		sb.supplyMW.Push(bs.SupplyMW)
@@ -245,6 +261,11 @@ func (t *Telemetry) observe(now uint64) {
 	t.sInstMW.Push(instMW)
 	for lv, n := range t.levelCounts {
 		t.sLevels[lv].Push(float64(n))
+	}
+	if t.sFailedLasers != nil {
+		t.sFailedLasers.Push(float64(failed))
+		t.sDropsFault.Push(float64(s.droppedByFault - t.lastDropped))
+		t.lastDropped = s.droppedByFault
 	}
 
 	t.index++

@@ -82,6 +82,15 @@ type Config struct {
 	// complement-traffic results plateau near 4× the static bandwidth,
 	// which corresponds to MaxHold = 4; see the ablation bench.
 	MaxHold int
+	// RecvTimeoutCycles bounds every blocking ring receive during the DBR
+	// exchange; 0 (the default) keeps the legacy unbounded receive, which
+	// is exact when messages cannot be lost. Fault-injected systems set it
+	// so a dropped Board Request cannot wedge a window.
+	RecvTimeoutCycles uint64
+	// RecvRetries bounds how many times a timed-out RC re-sends its
+	// message (each retry doubles the timeout) before abandoning the
+	// cycle. Only meaningful with RecvTimeoutCycles > 0.
+	RecvRetries int
 }
 
 // Validate checks the configuration.
@@ -97,6 +106,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("ctrl: LMin %v > LMax %v", c.Thresholds.LMin, c.Thresholds.LMax)
 	case c.Thresholds.BMin > c.Thresholds.BMax:
 		return fmt.Errorf("ctrl: BMin %v > BMax %v", c.Thresholds.BMin, c.Thresholds.BMax)
+	case c.RecvRetries < 0:
+		return fmt.Errorf("ctrl: RecvRetries must be >= 0, got %d", c.RecvRetries)
 	}
 	return nil
 }
@@ -138,6 +149,12 @@ type Counters struct {
 	// overhead; the paper requires it to be small relative to R_w).
 	PowerCycleBusy     uint64
 	BandwidthCycleBusy uint64
+	// Fault-tolerance counters (all zero without fault injection).
+	Timeouts        uint64 // bounded ring receives that expired
+	Retries         uint64 // messages re-sent after a timeout
+	StaleMsgs       uint64 // messages discarded as belonging to an older window
+	AbandonedCycles uint64 // DBR cycles given up after exhausting retries
+	FaultRepairs    uint64 // channels moved off a permanently failed laser
 }
 
 // StageEvent records one LS protocol stage execution, for the Fig. 4
@@ -146,6 +163,16 @@ type StageEvent struct {
 	Cycle uint64
 	Board int
 	Stage string
+}
+
+// RingFault intercepts RC→RC control-ring messages (fault injection).
+// Implementations must be deterministic functions of their own state and
+// the arguments.
+type RingFault interface {
+	// FilterRingMsg is consulted once per ring hop. drop suppresses the
+	// message entirely; otherwise extraDelay cycles are added to the hop
+	// latency.
+	FilterRingMsg(from, to int, now uint64) (drop bool, extraDelay uint64)
 }
 
 // System owns the per-board controllers.
@@ -164,7 +191,13 @@ type System struct {
 	// sink, when non-nil, receives every stage entry as a telemetry
 	// event (the unified pipeline; see SetSink).
 	sink telemetry.Sink
+	// ringFault, when non-nil, filters every RC→RC message (fault
+	// injection). The healthy path never consults it beyond a nil check.
+	ringFault RingFault
 }
+
+// SetRingFault attaches a control-ring fault filter (nil detaches).
+func (s *System) SetRingFault(rf RingFault) { s.ringFault = rf }
 
 // NewSystem builds the controller system. Call Start to spawn the RC
 // processes before running the engine.

@@ -12,12 +12,21 @@ type laserSnap struct {
 	linkUtil float64
 	bufUtil  float64
 	queueLen int
+	// dropped counts packets dropped at the laser over the window
+	// (always 0 without fault injection).
+	dropped uint64
 }
 
 // boardMsg is an RC→RC control packet on the electrical ring.
 type boardMsg struct {
 	kind   string // "board-request" | "board-response"
 	origin int    // board whose incoming channels the message describes
+	// window and attempt tag the message for the fault-tolerant exchange:
+	// receivers discard messages from older windows, and an origin
+	// recognizes which retry came back. Unused (but set) on the legacy
+	// blocking path.
+	window  uint64
+	attempt int
 	// entries is indexed by wavelength (1..B-1).
 	entries []chanEntry
 	// assign, for board-response messages, is the new holder per
@@ -33,10 +42,17 @@ type chanEntry struct {
 	linkUtil float64
 	bufUtil  float64
 	queueLen int
+	// dead marks the holder's laser permanently failed: the channel is
+	// dark and must be repaired onto a surviving laser.
+	dead bool
 	// ownerDemand is the static owner's buffer utilization toward origin
 	// (nonzero when the owner is starving for a channel it lent out).
 	ownerDemand float64
 	ownerQueue  int
+	// ownerDrops counts packets the static owner dropped toward origin
+	// over the window: a flow whose only laser died keeps dropping
+	// without ever queueing, and this is its demand signal.
+	ownerDrops uint64
 }
 
 // RC is one board's reconfiguration controller.
@@ -115,6 +131,7 @@ func (rc *RC) snapshotAndReset() [][]laserSnap {
 				linkUtil: l.LinkWin.Utilization(),
 				bufUtil:  l.BufWin.Utilization(),
 				queueLen: l.QueueLen(),
+				dropped:  l.TakeDropWindow(),
 			}
 			l.LinkWin.Reset()
 			l.BufWin.Reset()
@@ -143,6 +160,9 @@ func (rc *RC) powerCycle(p *sim.Process, snap [][]laserSnap) {
 			}
 			if sys.fab.Channel(d, w).Holder() != rc.board {
 				continue // laser dark: channel driven by another board
+			}
+			if l.Failed() {
+				continue // DPM leaves failed lasers alone until they recover
 			}
 			st := snap[w][d]
 			switch {
@@ -179,20 +199,14 @@ func (rc *RC) bandwidthCycle(p *sim.Process, snap [][]laserSnap) {
 	// statistics; simultaneously fill in the requests of the other boards
 	// from my outgoing snapshot.
 	sys.stage(rc.board, "board-request")
-	mine := &boardMsg{kind: "board-request", origin: rc.board, entries: make([]chanEntry, b)}
-	for w := 1; w < b; w++ {
-		mine.entries[w].holder = sys.fab.Channel(rc.board, w).Holder()
-	}
-	rc.send(mine)
-	var full *boardMsg
-	for full == nil {
-		m := rc.recv(p, "board-request")
-		if m.origin == rc.board {
-			full = m
-			continue
-		}
-		rc.fillEntries(m, snap)
-		rc.send(m)
+	full := rc.circulateRequest(p, snap)
+	if full == nil {
+		// Retries exhausted (fault injection lost the request for good):
+		// give up reconfiguring this window rather than wedge the
+		// lock-step schedule. The fabric keeps its current assignment.
+		sys.ctr.AbandonedCycles++
+		sys.stage(rc.board, "abandoned")
+		return
 	}
 
 	// Stage 3: Reconfigure — classify incoming channels and compute the
@@ -205,16 +219,7 @@ func (rc *RC) bandwidthCycle(p *sim.Process, snap [][]laserSnap) {
 	// Stage 4: Board Response — circulate the new assignments so source
 	// boards update their outgoing tables.
 	sys.stage(rc.board, "board-response")
-	resp := &boardMsg{kind: "board-response", origin: rc.board, assign: assign}
-	rc.send(resp)
-	for done := false; !done; {
-		m := rc.recv(p, "board-response")
-		if m.origin == rc.board {
-			done = true
-			continue
-		}
-		rc.send(m)
-	}
+	rc.circulateResponse(p, assign)
 
 	// Stage 5: Link Response — program the LCs: lasers switch on/off and
 	// receivers re-lock.
@@ -242,6 +247,110 @@ func (rc *RC) bandwidthCycle(p *sim.Process, snap [][]laserSnap) {
 	sys.stage(rc.board, "complete")
 }
 
+// newRequest builds this RC's board-request message for the current
+// window and attempt.
+func (rc *RC) newRequest(attempt int) *boardMsg {
+	b := rc.sys.top.Boards()
+	m := &boardMsg{kind: "board-request", origin: rc.board, window: rc.windows,
+		attempt: attempt, entries: make([]chanEntry, b)}
+	for w := 1; w < b; w++ {
+		m.entries[w].holder = rc.sys.fab.Channel(rc.board, w).Holder()
+	}
+	return m
+}
+
+// circulateRequest runs the Board Request circulation: it sends this
+// RC's request around the ring and forwards/fills the other boards'
+// requests until its own comes back complete. With RecvTimeoutCycles
+// set, every receive is bounded; a timeout re-sends the request with a
+// doubled timeout up to RecvRetries times, after which nil is returned
+// (the cycle is abandoned, never wedged).
+func (rc *RC) circulateRequest(p *sim.Process, snap [][]laserSnap) *boardMsg {
+	sys := rc.sys
+	rc.send(rc.newRequest(0))
+	if sys.cfg.RecvTimeoutCycles == 0 {
+		// Legacy exact path: messages cannot be lost, block indefinitely.
+		for {
+			m := rc.recv(p, "board-request")
+			if m.origin == rc.board {
+				return m
+			}
+			rc.fillEntries(m, snap)
+			rc.send(m)
+		}
+	}
+	attempt := 0
+	timeout := sys.cfg.RecvTimeoutCycles
+	deadline := p.Now() + timeout
+	for {
+		m, ok := rc.recvUntil(p, "board-request", deadline)
+		switch {
+		case !ok:
+			if attempt >= sys.cfg.RecvRetries {
+				return nil
+			}
+			sys.ctr.Timeouts++
+			sys.ctr.Retries++
+			attempt++
+			timeout *= 2
+			deadline = p.Now() + timeout
+			rc.send(rc.newRequest(attempt))
+		case m.window < rc.windows:
+			sys.ctr.StaleMsgs++ // leftover from an earlier window
+		case m.origin == rc.board:
+			// Any attempt of my own request that made it all the way around
+			// carries a complete set of entries.
+			return m
+		default:
+			rc.fillEntries(m, snap)
+			rc.send(m)
+		}
+	}
+}
+
+// circulateResponse runs the Board Response circulation. A response
+// that is lost beyond the retry budget is abandoned silently: the local
+// assignment still applies in Link Response, and remote boards observe
+// the holder change through their own next Board Request.
+func (rc *RC) circulateResponse(p *sim.Process, assign []int) {
+	sys := rc.sys
+	rc.send(&boardMsg{kind: "board-response", origin: rc.board, window: rc.windows, assign: assign})
+	if sys.cfg.RecvTimeoutCycles == 0 {
+		for {
+			m := rc.recv(p, "board-response")
+			if m.origin == rc.board {
+				return
+			}
+			rc.send(m)
+		}
+	}
+	attempt := 0
+	timeout := sys.cfg.RecvTimeoutCycles
+	deadline := p.Now() + timeout
+	for {
+		m, ok := rc.recvUntil(p, "board-response", deadline)
+		switch {
+		case !ok:
+			if attempt >= sys.cfg.RecvRetries {
+				return
+			}
+			sys.ctr.Timeouts++
+			sys.ctr.Retries++
+			attempt++
+			timeout *= 2
+			deadline = p.Now() + timeout
+			rc.send(&boardMsg{kind: "board-response", origin: rc.board, window: rc.windows,
+				attempt: attempt, assign: assign})
+		case m.window < rc.windows:
+			sys.ctr.StaleMsgs++
+		case m.origin == rc.board:
+			return
+		default:
+			rc.send(m)
+		}
+	}
+}
+
 // fillEntries adds this board's knowledge to another board's
 // board-request: statistics for the incoming channels of m.origin that
 // this board currently drives, and the owner-demand field for the
@@ -257,11 +366,14 @@ func (rc *RC) fillEntries(m *boardMsg, snap [][]laserSnap) {
 			m.entries[w].linkUtil = st.linkUtil
 			m.entries[w].bufUtil = st.bufUtil
 			m.entries[w].queueLen = st.queueLen
+			l := sys.fab.Laser(rc.board, w, m.origin)
+			m.entries[w].dead = l == nil || l.PermanentlyFailed()
 		}
 		if sys.top.StaticOwner(m.origin, w) == rc.board {
 			st := snap[w][m.origin]
 			m.entries[w].ownerDemand = st.bufUtil
 			m.entries[w].ownerQueue = st.queueLen
+			m.entries[w].ownerDrops = st.dropped
 		}
 	}
 }
@@ -288,16 +400,48 @@ func (rc *RC) reconfigure(m *boardMsg) []int {
 			demand[e.holder] = e.bufUtil
 		}
 	}
+	// Pass 0: fault repair — a channel whose holder's laser died
+	// permanently is dark and can never recover on its own. Move it to a
+	// surviving laser, preferring the static owner, then ring order from
+	// the owner. Repairs ignore MaxHold: a dark channel helps nobody.
+	for w := 1; w < b; w++ {
+		e := m.entries[w]
+		if !e.dead {
+			continue
+		}
+		owner := sys.top.StaticOwner(rc.board, w)
+		target, found := 0, false
+		for i := 0; i < b; i++ {
+			cand := (owner + i) % b
+			if cand == rc.board || cand == e.holder {
+				continue
+			}
+			if sys.fab.LaserHealthy(cand, w, rc.board) {
+				target, found = cand, true
+				break
+			}
+		}
+		if !found {
+			continue // no survivor can drive this wavelength; leave it
+		}
+		assign[w] = target
+		holds[e.holder]--
+		holds[target]++
+		sys.ctr.FaultRepairs++
+	}
+
 	// Starving owners: no held channel, but queued demand on their static
-	// laser.
+	// laser — or a dead static laser silently dropping the flow's packets,
+	// which never queue and so need the drop counter as their signal.
 	for w := 1; w < b; w++ {
 		owner := sys.top.StaticOwner(rc.board, w)
 		if holds[owner] == 0 && m.entries[w].ownerDemand > demand[owner] {
 			demand[owner] = m.entries[w].ownerDemand
 		}
-		if holds[owner] == 0 && m.entries[w].ownerQueue > 0 && demand[owner] <= th.BMax {
-			// Any parked packets at all mean the owner needs its channel
-			// back — a zero-bandwidth flow must never starve forever.
+		if holds[owner] == 0 && (m.entries[w].ownerQueue > 0 || m.entries[w].ownerDrops > 0) && demand[owner] <= th.BMax {
+			// Any parked (or fault-dropped) packets at all mean the owner
+			// needs a channel — a zero-bandwidth flow must never starve
+			// forever.
 			demand[owner] = th.BMax + 1e-9
 		}
 	}
@@ -314,11 +458,16 @@ func (rc *RC) reconfigure(m *boardMsg) []int {
 	}
 
 	// Pass 1: reclaim — return lent channels to congested owners when the
-	// current holder is not itself congested on that channel.
+	// current holder is not itself congested on that channel (and the
+	// owner's laser survives to drive it).
 	for w := 1; w < b; w++ {
 		e := m.entries[w]
+		if assign[w] != e.holder {
+			continue // repaired in pass 0
+		}
 		owner := sys.top.StaticOwner(rc.board, w)
-		if e.holder != owner && demand[owner] > th.BMax && e.bufUtil <= th.BMax {
+		if e.holder != owner && demand[owner] > th.BMax && e.bufUtil <= th.BMax &&
+			sys.fab.LaserHealthy(owner, w, rc.board) {
 			assign[w] = owner
 			holds[e.holder]--
 			holds[owner]++
@@ -350,7 +499,9 @@ func (rc *RC) reconfigure(m *boardMsg) []int {
 		for tries := 0; tries < len(over); tries++ {
 			cand := over[next%len(over)]
 			next++
-			if holds[cand] < maxHold && sys.fab.CanHold(cand, w, rc.board) {
+			// LaserHealthy subsumes CanHold: the candidate must have a
+			// populated, surviving laser for this channel.
+			if holds[cand] < maxHold && sys.fab.LaserHealthy(cand, w, rc.board) {
 				target = cand
 				found = true
 				break
@@ -367,12 +518,21 @@ func (rc *RC) reconfigure(m *boardMsg) []int {
 }
 
 // send forwards a message to the next RC on the ring with the hop
-// latency.
+// latency. An attached ring-fault filter may drop the message or add
+// delay; the healthy path costs one nil check.
 func (rc *RC) send(m *boardMsg) {
 	sys := rc.sys
 	sys.ctr.MessagesSent++
-	dst := sys.rcs[(rc.board+1)%sys.top.Boards()]
-	dst.mbox.PutAfter(sys.cfg.RingHopCycles, m)
+	next := (rc.board + 1) % sys.top.Boards()
+	delay := sys.cfg.RingHopCycles
+	if sys.ringFault != nil {
+		drop, extra := sys.ringFault.FilterRingMsg(rc.board, next, sys.eng.Now())
+		if drop {
+			return
+		}
+		delay += extra
+	}
+	sys.rcs[next].mbox.PutAfter(delay, m)
 }
 
 // recv blocks the RC process until a message of the given kind is
@@ -381,4 +541,9 @@ func (rc *RC) send(m *boardMsg) {
 // depend on that.
 func (rc *RC) recv(p *sim.Process, kind string) *boardMsg {
 	return rc.mbox.ReceiveMatch(p, func(m *boardMsg) bool { return m.kind == kind })
+}
+
+// recvUntil is recv with an absolute deadline; ok is false on timeout.
+func (rc *RC) recvUntil(p *sim.Process, kind string, deadline uint64) (*boardMsg, bool) {
+	return rc.mbox.ReceiveMatchUntil(p, func(m *boardMsg) bool { return m.kind == kind }, deadline)
 }

@@ -1,0 +1,38 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzFaultSpec throws arbitrary bytes at the spec parser. Accepted
+// specs must survive a marshal → parse round trip unchanged, and
+// validation must be idempotent — a spec that parsed once can never be
+// rejected when re-parsed from its own canonical encoding.
+func FuzzFaultSpec(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"seed":7}`))
+	f.Add([]byte(`{"events":[{"at":100,"kind":"laser-kill","board":2,"wavelength":3,"dest":5}]}`))
+	f.Add([]byte(`{"events":[{"at":1,"kind":"laser-degrade","board":0,"wavelength":1,"dest":1,"duration":200}]}`))
+	f.Add([]byte(`{"events":[{"at":1,"kind":"level-stick","board":0,"wavelength":1,"dest":1,"level":2}]}`))
+	f.Add([]byte(`{"events":[{"at":1,"kind":"ctrl-outage","duration":500}]}`))
+	f.Add([]byte(`{"laser_degrade_rate":0.01,"degrade_cycles":150,"ctrl_drop_rate":0.1,"ctrl_delay_rate":0.2,"ctrl_delay_cycles":8}`))
+	f.Add([]byte(`{"events":[{"at":18446744073709551615,"kind":"laser-kill","board":1,"wavelength":1,"dest":0}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		enc, err := MarshalSpec(s)
+		if err != nil {
+			t.Fatalf("accepted spec failed to marshal: %v\nspec: %+v", err, s)
+		}
+		back, err := ParseSpec(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Fatalf("round trip changed the spec:\nfirst:  %+v\nsecond: %+v\nencoding: %s", s, back, enc)
+		}
+	})
+}

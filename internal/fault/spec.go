@@ -1,0 +1,199 @@
+// Package fault provides deterministic, seed-driven fault injection for
+// the E-RAPID simulator: scheduled and rate-based laser failures, DPM
+// actuator sticking, and Lock-Step control-ring message loss and delay.
+//
+// The paper's reconfiguration argument assumes the fabric stays usable
+// when conditions change; this package supplies the adversity that the
+// DBR fallback, the RC timeout/retry path and the availability metrics
+// are measured against. Injection is driven entirely by a Spec and a
+// seed: the same spec and seed produce bit-identical fault sequences,
+// so faulted runs are as reproducible as healthy ones.
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Scheduled fault event kinds.
+const (
+	// KindLaserKill permanently kills laser (Board, λWavelength → Dest):
+	// queued and future packets routed to it are dropped until the
+	// control plane re-allocates the flow to a surviving channel.
+	KindLaserKill = "laser-kill"
+	// KindLaserDegrade transiently fails the laser for Duration cycles;
+	// its queue is held and resumes (after a relock window) on recovery.
+	KindLaserDegrade = "laser-degrade"
+	// KindLevelStick pins the laser's DPM actuator at Level for Duration
+	// cycles (0 = forever): every SetLevel is ignored while stuck.
+	KindLevelStick = "level-stick"
+	// KindCtrlOutage drops every RC control-ring message sent in
+	// [At, At+Duration).
+	KindCtrlOutage = "ctrl-outage"
+)
+
+// Event is one scheduled fault.
+type Event struct {
+	// At is the cycle the fault strikes.
+	At uint64 `json:"at"`
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// Board, Wavelength, Dest identify the target laser (laser kinds).
+	Board      int `json:"board,omitempty"`
+	Wavelength int `json:"wavelength,omitempty"`
+	Dest       int `json:"dest,omitempty"`
+	// Duration is the fault length in cycles. Required for laser-degrade
+	// and ctrl-outage; optional for level-stick (0 pins forever); must be
+	// 0 for laser-kill (kills are permanent).
+	Duration uint64 `json:"duration,omitempty"`
+	// Level is the pinned DPM level for level-stick.
+	Level int `json:"level,omitempty"`
+}
+
+// Spec is a complete fault-injection scenario: a schedule of discrete
+// events plus background fault rates.
+type Spec struct {
+	// Seed derives the injector's random streams; 0 falls back to the
+	// run seed, so rate-based faults still vary across run seeds.
+	Seed uint64 `json:"seed,omitempty"`
+	// Events are scheduled faults, in any order (the injector sorts).
+	Events []Event `json:"events,omitempty"`
+	// LaserDegradeRate is the per-laser, per-window probability of a
+	// transient failure lasting DegradeCycles.
+	LaserDegradeRate float64 `json:"laser_degrade_rate,omitempty"`
+	// DegradeCycles is the length of rate-based transient failures.
+	DegradeCycles uint64 `json:"degrade_cycles,omitempty"`
+	// CtrlDropRate is the per-message probability that a control-ring
+	// hop loses the message.
+	CtrlDropRate float64 `json:"ctrl_drop_rate,omitempty"`
+	// CtrlDelayRate is the per-message probability of an extra
+	// CtrlDelayCycles hop latency (checked only when not dropped).
+	CtrlDelayRate float64 `json:"ctrl_delay_rate,omitempty"`
+	// CtrlDelayCycles is the extra latency of a delayed message.
+	CtrlDelayCycles uint64 `json:"ctrl_delay_cycles,omitempty"`
+}
+
+// Empty reports whether the spec injects nothing at all; an empty spec
+// behaves bit-identically to no spec.
+func (s *Spec) Empty() bool {
+	return s == nil || (len(s.Events) == 0 && s.LaserDegradeRate == 0 &&
+		s.CtrlDropRate == 0 && s.CtrlDelayRate == 0)
+}
+
+// HasCtrlFaults reports whether the spec can interfere with the
+// control ring; systems enable the RC timeout/retry path only then, so
+// pure laser-fault runs keep the legacy blocking exchange.
+func (s *Spec) HasCtrlFaults() bool {
+	if s == nil {
+		return false
+	}
+	if s.CtrlDropRate > 0 || s.CtrlDelayRate > 0 {
+		return true
+	}
+	for i := range s.Events {
+		if s.Events[i].Kind == KindCtrlOutage {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the spec's internal consistency (ranges against a
+// concrete topology are checked when the injector is built).
+func (s *Spec) Validate() error {
+	for i := range s.Events {
+		e := &s.Events[i]
+		switch e.Kind {
+		case KindLaserKill:
+			if e.Duration != 0 {
+				return fmt.Errorf("fault: event %d: laser-kill is permanent, duration must be 0 (got %d)", i, e.Duration)
+			}
+		case KindLaserDegrade:
+			if e.Duration == 0 {
+				return fmt.Errorf("fault: event %d: laser-degrade needs duration >= 1", i)
+			}
+		case KindLevelStick:
+			if e.Level < 1 {
+				return fmt.Errorf("fault: event %d: level-stick needs an operating level >= 1 (got %d)", i, e.Level)
+			}
+		case KindCtrlOutage:
+			if e.Duration == 0 {
+				return fmt.Errorf("fault: event %d: ctrl-outage needs duration >= 1", i)
+			}
+		default:
+			return fmt.Errorf("fault: event %d: unknown kind %q", i, e.Kind)
+		}
+		switch e.Kind {
+		case KindLaserKill, KindLaserDegrade, KindLevelStick:
+			if e.Board < 0 || e.Dest < 0 || e.Wavelength < 1 {
+				return fmt.Errorf("fault: event %d: laser target (%d,λ%d→%d) out of range", i, e.Board, e.Wavelength, e.Dest)
+			}
+			if e.Board == e.Dest {
+				return fmt.Errorf("fault: event %d: laser target board %d == dest", i, e.Board)
+			}
+		}
+	}
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"laser_degrade_rate", s.LaserDegradeRate},
+		{"ctrl_drop_rate", s.CtrlDropRate},
+		{"ctrl_delay_rate", s.CtrlDelayRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("fault: %s = %v, need [0,1]", r.name, r.v)
+		}
+	}
+	if s.LaserDegradeRate > 0 && s.DegradeCycles == 0 {
+		return fmt.Errorf("fault: laser_degrade_rate set but degrade_cycles = 0")
+	}
+	if s.CtrlDelayRate > 0 && s.CtrlDelayCycles == 0 {
+		return fmt.Errorf("fault: ctrl_delay_rate set but ctrl_delay_cycles = 0")
+	}
+	return nil
+}
+
+// ParseSpec decodes and validates a JSON fault spec. Unknown fields are
+// rejected so a typo cannot silently disable a fault.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("fault: bad spec: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("fault: trailing data after spec document")
+	}
+	if len(s.Events) == 0 {
+		// Canonicalize "events": [] to the omitted form so parse → marshal
+		// round trips are exact.
+		s.Events = nil
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadSpec reads a fault spec from a JSON file.
+func LoadSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := ParseSpec(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// MarshalSpec encodes a spec as indented JSON (the inverse of
+// ParseSpec, for tooling and round-trip tests).
+func MarshalSpec(s *Spec) ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -146,6 +146,19 @@ type Laser struct {
 	// (off-list) lasers are never busy, so the count needs no batching.
 	busyCycles uint64
 
+	// failed marks the laser unable to transmit (fault injection). A
+	// permFailed laser additionally drops packets routed to it; a
+	// transient failure holds its queue until RestoreLaser.
+	failed     bool
+	permFailed bool
+	// stuck pins the laser at its current level: SetLevel becomes a
+	// no-op (a DPM actuator fault).
+	stuck bool
+	// dropWin counts packets dropped at this laser since the RC last
+	// snapshotted it; a non-zero count is the control plane's signal
+	// that the flow needs a surviving channel.
+	dropWin uint64
+
 	active      bool    // on the fabric's active list
 	statsAt     uint64  // cycle through which LinkWin/BufWin are accounted
 	idleContrib float64 // mW currently counted in fab.idleLitMW
@@ -176,14 +189,34 @@ func (l *Laser) Sent() uint64 { return l.sentPackets }
 // BusyCycles returns the cumulative cycles spent serializing packets.
 func (l *Laser) BusyCycles() uint64 { return l.busyCycles }
 
+// Failed reports whether the laser is currently failed (fault injection).
+func (l *Laser) Failed() bool { return l.failed }
+
+// PermanentlyFailed reports whether the laser is failed for good: it
+// drops packets routed to it instead of queueing them.
+func (l *Laser) PermanentlyFailed() bool { return l.permFailed }
+
+// Stuck reports whether the laser's DPM level is pinned (SetLevel is a
+// no-op).
+func (l *Laser) Stuck() bool { return l.stuck }
+
+// TakeDropWindow returns and resets the count of packets dropped at the
+// laser since the last call (the RC reads it once per window).
+func (l *Laser) TakeDropWindow() uint64 {
+	n := l.dropWin
+	l.dropWin = 0
+	return n
+}
+
 // SetLevel changes the operating point, paying the relock penalty when
 // the level actually changes. Changing to Off does not pay a penalty
-// (the link is simply shut down); waking from Off does.
+// (the link is simply shut down); waking from Off does. A stuck laser
+// (fault injection) ignores the request entirely.
 func (l *Laser) SetLevel(level int, now, relockCycles uint64) {
 	if !l.ladder.Valid(level) {
 		panic(fmt.Sprintf("optical: laser (%d,λ%d→%d): invalid level %d", l.s, l.w, l.d, level))
 	}
-	if level == l.level {
+	if l.stuck || level == l.level {
 		return
 	}
 	from := l.level
@@ -260,7 +293,15 @@ type Fabric struct {
 	wakes    uint64
 
 	observer Observer
+
+	// dropHook receives packets discarded because their laser is
+	// permanently failed; nil (the healthy default) discards silently.
+	dropHook DeliverFunc
 }
+
+// SetDropHook registers the accounting path for packets discarded at
+// permanently failed lasers (fault injection). Pass nil to detach.
+func (f *Fabric) SetDropHook(fn DeliverFunc) { f.dropHook = fn }
 
 // SetObserver attaches an optical-event observer (nil detaches).
 func (f *Fabric) SetObserver(o Observer) { f.observer = o }
@@ -325,7 +366,7 @@ func NewFabric(top *topology.Topology, eng *sim.Engine, cfg Config) (*Fabric, er
 // level's power when it is lit (drives its channel) and operating, and
 // not already accounted per-cycle via the active list.
 func (f *Fabric) litIdleMW(l *Laser) float64 {
-	if l.active || !l.ladder.Operating(l.level) || f.channels[l.d][l.w].holder != l.s {
+	if l.active || l.failed || !l.ladder.Operating(l.level) || f.channels[l.d][l.w].holder != l.s {
 		return 0
 	}
 	return f.cfg.Ladder.MW(l.level)
@@ -466,11 +507,14 @@ func (f *Fabric) Reassign(d, w, newHolder int, level int, now uint64) error {
 	if !f.cfg.Ladder.Operating(level) {
 		level = f.cfg.DefaultLevel
 	}
-	if nl.level != level {
+	prev := nl.level
+	if prev != level {
 		nl.SetLevel(level, now, f.cfg.RelockCycles)
-	} else {
-		// Same nominal level, but the receiver must still lock onto the new
-		// source: pay the relock window.
+	}
+	if nl.level == prev {
+		// The level did not move — either the request matched the current
+		// level or a stuck actuator ignored it — but the receiver must
+		// still lock onto the new source: pay the relock window.
 		nl.transitions++
 		nl.disabledUntil = now + f.cfg.RelockCycles
 	}
@@ -481,6 +525,85 @@ func (f *Fabric) Reassign(d, w, newHolder int, level int, now uint64) error {
 	return nil
 }
 
+// FailLaser marks laser (s, w, d) failed: it stops transmitting, stops
+// drawing supply power, and (failure is fail-stop at packet boundaries)
+// any in-flight serialization still completes. A permanent failure also
+// discards the laser's queued packets through the drop hook and makes
+// the transmitter drop packets routed to it; a transient failure holds
+// its queue until RestoreLaser.
+func (f *Fabric) FailLaser(s, w, d int, permanent bool, now uint64) {
+	l := f.lasers[s][w][d]
+	if l == nil {
+		panic(fmt.Sprintf("optical: FailLaser(%d,λ%d→%d): no such laser", s, w, d))
+	}
+	l.failed = true
+	if permanent {
+		l.permFailed = true
+		for i, p := range l.queue {
+			l.dropWin++
+			if f.dropHook != nil {
+				f.dropHook(p, now)
+			}
+			l.queue[i] = nil
+		}
+		l.queue = l.queue[:0]
+	}
+	f.refreshIdle(l)
+}
+
+// RestoreLaser clears a laser's failed state. The recovered link pays
+// the relock penalty before transmitting again (the receiver must
+// re-acquire the returning source).
+func (f *Fabric) RestoreLaser(s, w, d int, now uint64) {
+	l := f.lasers[s][w][d]
+	if l == nil {
+		panic(fmt.Sprintf("optical: RestoreLaser(%d,λ%d→%d): no such laser", s, w, d))
+	}
+	l.failed = false
+	l.permFailed = false
+	if l.Operating() {
+		l.transitions++
+		l.disabledUntil = now + f.cfg.RelockCycles
+	}
+	f.refreshIdle(l)
+}
+
+// StickLaser pins laser (s, w, d) at the given operating level: until
+// UnstickLaser, every SetLevel — DPM decisions, reassignment relevels —
+// is silently ignored (a stuck DPM actuator).
+func (f *Fabric) StickLaser(s, w, d, level int, now uint64) {
+	l := f.lasers[s][w][d]
+	if l == nil {
+		panic(fmt.Sprintf("optical: StickLaser(%d,λ%d→%d): no such laser", s, w, d))
+	}
+	if !f.cfg.Ladder.Operating(level) {
+		panic(fmt.Sprintf("optical: StickLaser(%d,λ%d→%d): level %d is not an operating level", s, w, d, level))
+	}
+	l.stuck = false
+	l.SetLevel(level, now, f.cfg.RelockCycles)
+	l.stuck = true
+}
+
+// UnstickLaser releases a stuck laser's DPM actuator.
+func (f *Fabric) UnstickLaser(s, w, d int) {
+	l := f.lasers[s][w][d]
+	if l == nil {
+		panic(fmt.Sprintf("optical: UnstickLaser(%d,λ%d→%d): no such laser", s, w, d))
+	}
+	l.stuck = false
+}
+
+// LaserHealthy reports whether board s has a live (populated, not
+// failed) laser for channel (d, w). It refines CanHold for fault-aware
+// callers: only healthy candidates are worth re-allocating a channel to.
+func (f *Fabric) LaserHealthy(s, w, d int) bool {
+	if s == d {
+		return false
+	}
+	l := f.lasers[s][w][d]
+	return l != nil && !l.failed
+}
+
 // HoldersToward returns the wavelengths board s currently holds toward
 // board d (the route candidates for flow s→d), in ascending order.
 func (f *Fabric) HoldersToward(s, d int) []int {
@@ -488,11 +611,12 @@ func (f *Fabric) HoldersToward(s, d int) []int {
 }
 
 // AppendHoldersToward appends the wavelengths board s currently holds
-// toward board d to buf and returns it. Hot routing paths pass a reused
-// scratch buffer to avoid a per-packet allocation.
+// toward board d to buf and returns it. Channels whose laser has failed
+// are skipped: routing falls back to a surviving wavelength. Hot routing
+// paths pass a reused scratch buffer to avoid a per-packet allocation.
 func (f *Fabric) AppendHoldersToward(buf []int, s, d int) []int {
 	for w := 1; w < f.top.Boards(); w++ {
-		if f.channels[d][w].holder == s {
+		if f.channels[d][w].holder == s && !f.lasers[s][w][d].failed {
 			buf = append(buf, w)
 		}
 	}
@@ -609,7 +733,7 @@ func (f *Fabric) Tick(now uint64) {
 
 func (f *Fabric) tickLaser(l *Laser, now uint64) {
 	ch := f.channels[l.d][l.w]
-	lit := ch.holder == l.s
+	lit := ch.holder == l.s && !l.failed
 	if lit && l.level == 0 && len(l.queue) > 0 && f.cfg.Ladder.Operating(f.autoWake) {
 		l.SetLevel(f.autoWake, now, f.cfg.RelockCycles)
 		f.wakes++
@@ -658,6 +782,8 @@ type BoardStats struct {
 	// TxBusyCycles sums the board's lasers' cumulative busy cycles;
 	// per-window deltas give the board's transmit occupancy.
 	TxBusyCycles uint64
+	// Failed counts the board's lasers currently failed (fault injection).
+	Failed int
 }
 
 // BoardStats fills st with board s's transmit-side aggregate. When
@@ -676,11 +802,14 @@ func (f *Fabric) BoardStats(s int, st *BoardStats, levelCounts []int) {
 			}
 			st.Queued += len(l.queue)
 			st.TxBusyCycles += l.busyCycles
+			if l.failed {
+				st.Failed++
+			}
 			if f.channels[d][w].holder != s {
 				continue
 			}
 			st.Held++
-			if l.ladder.Operating(l.level) {
+			if !l.failed && l.ladder.Operating(l.level) {
 				st.Lit++
 				st.SupplyMW += f.cfg.Ladder.MW(l.level)
 				st.LevelSum += l.level

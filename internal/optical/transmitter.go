@@ -92,6 +92,27 @@ func (t *Transmitter) tick(now uint64) {
 		if laser == nil {
 			panic(fmt.Sprintf("optical: tx(%d,λ%d): packet for board %d routed to an unpopulated laser port", t.s, t.w, dst))
 		}
+		if laser.permFailed {
+			// The laser is permanently dead and routing had no surviving
+			// alternative: drop the packet rather than wedge the VC, and
+			// free the reassembly buffer.
+			laser.dropWin++
+			if t.f.dropHook != nil {
+				t.f.dropHook(p, now)
+			}
+			n := len(vc.entries)
+			for i := range vc.entries {
+				vc.entries[i] = txEntry{}
+			}
+			vc.entries = vc.entries[:0]
+			t.pending -= n
+			if t.cs != nil {
+				for i := 0; i < n; i++ {
+					t.cs.PutCredit(v, now+1)
+				}
+			}
+			continue
+		}
 		if len(laser.queue) >= t.f.cfg.QueueCap {
 			continue // backpressure: hold credits until the laser drains
 		}

@@ -26,14 +26,14 @@ type dashPanel struct {
 
 // dashGeometry (narrower than the figure SVGs; panels sit in a grid).
 const (
-	dashW       = 560
-	dashH       = 300
-	dashMarL    = 62
-	dashMarR    = 150
-	dashMarT    = 34
-	dashMarB    = 42
-	dashPlotW   = dashW - dashMarL - dashMarR
-	dashPlotH   = dashH - dashMarT - dashMarB
+	dashW      = 560
+	dashH      = 300
+	dashMarL   = 62
+	dashMarR   = 150
+	dashMarT   = 34
+	dashMarB   = 42
+	dashPlotW  = dashW - dashMarL - dashMarR
+	dashPlotH  = dashH - dashMarT - dashMarB
 	dashTicks  = 4
 	dashMaxLeg = 16 // legend entries per panel before eliding
 )
@@ -98,6 +98,9 @@ func dashboardPanels(reg *telemetry.Registry) []dashPanel {
 	add("DPM level occupancy (held channels)", "channels", levelNames, nil)
 	add("Reconfiguration actions", "1/window",
 		[]string{"reassignments", "reclaims", "level_ups", "level_downs", "shutdowns", "wakes"}, nil)
+	add("Faults & recovery", "per window",
+		[]string{"failed_lasers", "dropped_by_fault", "fault_repairs"},
+		[]string{"failed lasers", "dropped packets", "fault repairs"})
 
 	if ns, ls := perBoard("supply_mw"); len(ns) > 0 {
 		panels = append(panels, dashPanel{Title: "Per-board supply power", Unit: "mW", Names: ns, Labels: ls})

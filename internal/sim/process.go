@@ -97,6 +97,52 @@ func (p *Process) WaitSignal(s *Signal) {
 	p.park()
 }
 
+// WaitSignalUntil blocks until the signal fires or virtual time reaches
+// deadline, whichever comes first, and reports whether the wait timed
+// out. A deadline at or before the current time returns true without
+// blocking. Like WaitSignal, a wake-up does not guarantee the caller's
+// predicate: re-check and wait again with the same absolute deadline.
+func (p *Process) WaitSignalUntil(s *Signal, deadline Time) (timedOut bool) {
+	if deadline <= p.eng.Now() {
+		return true
+	}
+	w := &timedWaiter{p: p}
+	s.timed = append(s.timed, w)
+	timer := p.eng.At(deadline, func() {
+		if w.woken {
+			return // the signal fired at this same instant and won
+		}
+		w.woken = true
+		w.timedOut = true
+		// Remove the waiter so a later Fire cannot resume the process a
+		// second time.
+		for i, tw := range s.timed {
+			if tw == w {
+				copy(s.timed[i:], s.timed[i+1:])
+				s.timed[len(s.timed)-1] = nil
+				s.timed = s.timed[:len(s.timed)-1]
+				break
+			}
+		}
+		p.resume()
+	})
+	p.park()
+	if !w.timedOut {
+		// The signal won; the timer entry is still on the calendar.
+		p.eng.Cancel(timer)
+	}
+	return w.timedOut
+}
+
+// timedWaiter is one process blocked in WaitSignalUntil. The woken flag
+// arbitrates the race between Fire and the deadline timer when both
+// land on the same instant: whichever runs first claims the wake-up.
+type timedWaiter struct {
+	p        *Process
+	woken    bool
+	timedOut bool
+}
+
 // Signal is a named wake-up source for processes (condition-variable
 // style). Fire wakes all currently waiting processes, in wait order, at
 // the current instant.
@@ -104,6 +150,7 @@ type Signal struct {
 	eng     *Engine
 	name    string
 	waiters []*Process
+	timed   []*timedWaiter
 	fires   uint64
 }
 
@@ -119,18 +166,27 @@ func (s *Signal) Name() string { return s.name }
 func (s *Signal) Fires() uint64 { return s.fires }
 
 // Waiting returns the number of processes currently blocked on the signal.
-func (s *Signal) Waiting() int { return len(s.waiters) }
+func (s *Signal) Waiting() int { return len(s.waiters) + len(s.timed) }
 
 func (s *Signal) enqueue(p *Process) { s.waiters = append(s.waiters, p) }
 
 // Fire wakes every process currently waiting on the signal. Wake-ups are
-// scheduled as zero-delay events in wait order, so woken processes run at
-// the current instant but after the firing context returns to the engine.
+// scheduled as zero-delay events in wait order (plain waiters first,
+// then deadline-bounded ones), so woken processes run at the current
+// instant but after the firing context returns to the engine.
 func (s *Signal) Fire() {
 	s.fires++
 	ws := s.waiters
 	s.waiters = nil
 	for _, p := range ws {
 		s.eng.After(0, p.resume)
+	}
+	tws := s.timed
+	s.timed = nil
+	for _, w := range tws {
+		// Claim the wake-up now so a deadline timer at this same instant
+		// sees a settled race; the resume itself is still deferred.
+		w.woken = true
+		s.eng.After(0, w.p.resume)
 	}
 }

@@ -140,15 +140,41 @@ func (m *Mailbox[T]) Receive(p *Process) T {
 // one arrives. Non-matching messages stay queued in order.
 func (m *Mailbox[T]) ReceiveMatch(p *Process, pred func(T) bool) T {
 	for {
-		for i, v := range m.items {
-			if pred(v) {
-				var zero T
-				copy(m.items[i:], m.items[i+1:])
-				m.items[len(m.items)-1] = zero
-				m.items = m.items[:len(m.items)-1]
-				return v
-			}
+		if v, ok := m.takeMatch(pred); ok {
+			return v
 		}
 		p.WaitSignal(m.sig)
 	}
+}
+
+// ReceiveMatchUntil dequeues the first message satisfying pred, blocking
+// until one arrives or virtual time reaches deadline. ok is false on
+// timeout. The deadline is absolute, so retry loops that re-arm with a
+// new deadline compose naturally.
+func (m *Mailbox[T]) ReceiveMatchUntil(p *Process, pred func(T) bool, deadline Time) (T, bool) {
+	for {
+		if v, ok := m.takeMatch(pred); ok {
+			return v, true
+		}
+		if p.WaitSignalUntil(m.sig, deadline) {
+			// Timed out. A message put at this exact instant may have won
+			// the race against the timer, so poll once more.
+			return m.takeMatch(pred)
+		}
+	}
+}
+
+// takeMatch dequeues the first message satisfying pred without blocking.
+func (m *Mailbox[T]) takeMatch(pred func(T) bool) (T, bool) {
+	for i, v := range m.items {
+		if pred(v) {
+			var zero T
+			copy(m.items[i:], m.items[i+1:])
+			m.items[len(m.items)-1] = zero
+			m.items = m.items[:len(m.items)-1]
+			return v, true
+		}
+	}
+	var zero T
+	return zero, false
 }

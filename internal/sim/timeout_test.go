@@ -1,0 +1,161 @@
+package sim
+
+import "testing"
+
+// TestWaitSignalUntilTimesOut verifies a deadline-bounded wait resumes
+// at the deadline when nobody fires the signal.
+func TestWaitSignalUntilTimesOut(t *testing.T) {
+	eng := NewEngine()
+	sig := NewSignal(eng, "s")
+	var at Time
+	var timedOut bool
+	eng.SpawnProcess("w", func(p *Process) {
+		timedOut = p.WaitSignalUntil(sig, 50)
+		at = p.Now()
+	})
+	eng.RunUntil(100)
+	if !timedOut {
+		t.Fatalf("timedOut = false, want true")
+	}
+	if at != 50 {
+		t.Fatalf("resumed at %d, want 50", at)
+	}
+	if sig.Waiting() != 0 {
+		t.Fatalf("signal still has %d waiters after timeout", sig.Waiting())
+	}
+}
+
+// TestWaitSignalUntilSignalWins verifies a fire before the deadline
+// resumes the waiter immediately and cancels the deadline timer.
+func TestWaitSignalUntilSignalWins(t *testing.T) {
+	eng := NewEngine()
+	sig := NewSignal(eng, "s")
+	var at Time
+	var timedOut bool
+	done := false
+	eng.SpawnProcess("w", func(p *Process) {
+		timedOut = p.WaitSignalUntil(sig, 50)
+		at = p.Now()
+		done = true
+	})
+	eng.At(20, sig.Fire)
+	eng.RunUntil(100)
+	if !done {
+		t.Fatalf("waiter never resumed")
+	}
+	if timedOut {
+		t.Fatalf("timedOut = true, want false")
+	}
+	if at != 20 {
+		t.Fatalf("resumed at %d, want 20", at)
+	}
+	if got := eng.Pending(); got != 0 {
+		t.Fatalf("PendingEvents = %d after signal win, want 0 (timer cancelled)", got)
+	}
+}
+
+// TestWaitSignalUntilExpiredDeadline verifies a deadline at or before
+// the current instant returns without parking.
+func TestWaitSignalUntilExpiredDeadline(t *testing.T) {
+	eng := NewEngine()
+	sig := NewSignal(eng, "s")
+	var timedOut bool
+	eng.SpawnProcess("w", func(p *Process) {
+		p.Delay(10)
+		timedOut = p.WaitSignalUntil(sig, 10)
+	})
+	eng.RunUntil(100)
+	if !timedOut {
+		t.Fatalf("timedOut = false for expired deadline, want true")
+	}
+}
+
+// TestWaitSignalUntilTieGoesToSignal verifies that when Fire and the
+// deadline land on the same instant with Fire scheduled first, the
+// waiter observes the signal, not the timeout, and is resumed once.
+func TestWaitSignalUntilTieGoesToSignal(t *testing.T) {
+	eng := NewEngine()
+	sig := NewSignal(eng, "s")
+	resumes := 0
+	var timedOut bool
+	eng.SpawnProcess("w", func(p *Process) {
+		timedOut = p.WaitSignalUntil(sig, 30)
+		resumes++
+		// Park forever so a stray double-resume would run this body again
+		// and be caught by the resumes counter.
+		p.WaitSignal(sig)
+		resumes++
+	})
+	eng.At(30, sig.Fire) // scheduled before process start? no: start event is at 0
+	eng.RunUntil(100)
+	if timedOut {
+		t.Fatalf("timedOut = true on same-instant fire, want false")
+	}
+	if resumes != 1 {
+		t.Fatalf("resumes = %d, want 1", resumes)
+	}
+}
+
+// TestReceiveMatchUntilDelivers verifies the deadline receive returns a
+// matching message that arrives before the deadline and skips
+// non-matching ones.
+func TestReceiveMatchUntilDelivers(t *testing.T) {
+	eng := NewEngine()
+	mbox := NewMailbox[int](eng, "m")
+	var got int
+	var ok bool
+	eng.SpawnProcess("r", func(p *Process) {
+		got, ok = mbox.ReceiveMatchUntil(p, func(v int) bool { return v >= 10 }, 100)
+	})
+	mbox.PutAfter(5, 3)  // non-matching, stays queued
+	mbox.PutAfter(8, 42) // matching
+	eng.RunUntil(200)
+	if !ok || got != 42 {
+		t.Fatalf("ReceiveMatchUntil = (%d, %v), want (42, true)", got, ok)
+	}
+	if mbox.Len() != 1 {
+		t.Fatalf("mailbox len = %d, want 1 (non-matching message retained)", mbox.Len())
+	}
+}
+
+// TestReceiveMatchUntilTimesOut verifies the deadline receive gives up
+// at the deadline when only non-matching messages arrive.
+func TestReceiveMatchUntilTimesOut(t *testing.T) {
+	eng := NewEngine()
+	mbox := NewMailbox[int](eng, "m")
+	var ok bool
+	var at Time
+	eng.SpawnProcess("r", func(p *Process) {
+		_, ok = mbox.ReceiveMatchUntil(p, func(v int) bool { return v >= 10 }, 40)
+		at = p.Now()
+	})
+	mbox.PutAfter(5, 1)
+	mbox.PutAfter(15, 2)
+	eng.RunUntil(200)
+	if ok {
+		t.Fatalf("ok = true, want timeout")
+	}
+	if at != 40 {
+		t.Fatalf("timed out at %d, want 40", at)
+	}
+}
+
+// TestReceiveMatchUntilRaceAtDeadline verifies a message put exactly at
+// the deadline instant is still received when the put is processed
+// before the timer.
+func TestReceiveMatchUntilRaceAtDeadline(t *testing.T) {
+	eng := NewEngine()
+	mbox := NewMailbox[int](eng, "m")
+	var got int
+	var ok bool
+	eng.SpawnProcess("r", func(p *Process) {
+		got, ok = mbox.ReceiveMatchUntil(p, func(v int) bool { return true }, 40)
+	})
+	mbox.PutAfter(40, 7)
+	eng.RunUntil(200)
+	// Put fires the signal at t=40; whether the wait reports a wake-up or
+	// a timeout, the final poll must hand the message over.
+	if !ok || got != 7 {
+		t.Fatalf("ReceiveMatchUntil = (%d, %v), want (7, true)", got, ok)
+	}
+}

@@ -215,6 +215,7 @@ type Measurement struct {
 
 	labeledInjected  uint64
 	labeledDelivered uint64
+	labeledDropped   uint64
 
 	// Delivered counts every (non-control) packet delivered during the
 	// Measure phase; it is the numerator of accepted throughput.
@@ -254,12 +255,12 @@ func (m *Measurement) Advance(cycle uint64) {
 		if cycle >= m.measureStart+m.measureCycles {
 			m.phase = Drain
 			m.measureEnd = cycle
-			if m.labeledInjected == m.labeledDelivered {
+			if m.labeledInjected == m.labeledDelivered+m.labeledDropped {
 				m.phase = Done
 			}
 		}
 	case Drain:
-		if m.labeledDelivered >= m.labeledInjected {
+		if m.labeledDelivered+m.labeledDropped >= m.labeledInjected {
 			m.phase = Done
 		}
 	}
@@ -289,13 +290,29 @@ func (m *Measurement) OnDeliver(labeled bool, latency, netLatency uint64) {
 	}
 }
 
+// OnDrop records a packet discarded by fault injection. Dropped labeled
+// packets count toward drain completion, so a permanently failed laser
+// cannot wedge a run waiting for deliveries that can never happen.
+func (m *Measurement) OnDrop(labeled bool) {
+	if labeled {
+		m.labeledDropped++
+	}
+}
+
 // MeasureCycles returns the configured measurement interval length.
 func (m *Measurement) MeasureCycles() uint64 { return m.measureCycles }
 
-// LabeledInFlight returns labeled packets not yet delivered.
+// LabeledInFlight returns labeled packets not yet delivered or dropped.
 func (m *Measurement) LabeledInFlight() uint64 {
-	return m.labeledInjected - m.labeledDelivered
+	return m.labeledInjected - m.labeledDelivered - m.labeledDropped
 }
+
+// LabeledDropped returns the number of labeled packets dropped by fault
+// injection.
+func (m *Measurement) LabeledDropped() uint64 { return m.labeledDropped }
+
+// LabeledDelivered returns the number of labeled packets delivered.
+func (m *Measurement) LabeledDelivered() uint64 { return m.labeledDelivered }
 
 // LabeledInjected returns the number of labeled packets injected.
 func (m *Measurement) LabeledInjected() uint64 { return m.labeledInjected }

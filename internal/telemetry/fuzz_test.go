@@ -1,0 +1,38 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseEvent checks that ParseEvent never panics on arbitrary input
+// and that accepted lines reach an encode fixpoint: parse → encode →
+// parse → encode yields byte-identical JSONL. (The first encode may
+// differ from the input — ParseEvent tolerates reordered fields and
+// fields the writer would omit — but after one canonicalization the
+// schema must be stable.)
+func FuzzParseEvent(f *testing.F) {
+	for _, ev := range sampleEvents() {
+		f.Add(AppendEvent(nil, ev))
+	}
+	f.Add([]byte(`{"cycle":1,"kind":"inject"}`))
+	f.Add([]byte(`{"kind":"reassign","from":-3,"to":12,"board":0}`))
+	f.Add([]byte(`{"cycle":18446744073709551615,"kind":"phase","label":"é"}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"cycle":1,"kind":"no-such-kind"}`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		ev, err := ParseEvent(line)
+		if err != nil {
+			return
+		}
+		enc := AppendEvent(nil, ev)
+		ev2, err := ParseEvent(enc)
+		if err != nil {
+			t.Fatalf("re-parse of own encoding failed: %v\nencoding: %s", err, enc)
+		}
+		enc2 := AppendEvent(nil, ev2)
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding is not a fixpoint:\nfirst:  %s\nsecond: %s", enc, enc2)
+		}
+	})
+}

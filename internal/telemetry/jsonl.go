@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"unicode/utf8"
 )
 
 // AppendEvent encodes ev as one JSON object (no trailing newline) in
@@ -50,10 +51,38 @@ func AppendEvent(b []byte, ev Event) []byte {
 	}
 	if ev.Label != "" {
 		b = append(b, `,"label":`...)
-		b = strconv.AppendQuote(b, ev.Label)
+		b = appendJSONString(b, ev.Label)
 	}
 	b = append(b, '}')
 	return b
+}
+
+// appendJSONString appends s as a JSON string literal. strconv's
+// AppendQuote emits Go syntax (\x01 escapes) that JSON parsers reject;
+// here control characters use the \u00XX form JSON requires, and
+// invalid UTF-8 is replaced with U+FFFD.
+func appendJSONString(b []byte, s string) []byte {
+	const hex = "0123456789abcdef"
+	b = append(b, '"')
+	for _, r := range s {
+		switch {
+		case r == '"':
+			b = append(b, '\\', '"')
+		case r == '\\':
+			b = append(b, '\\', '\\')
+		case r == '\n':
+			b = append(b, '\\', 'n')
+		case r == '\r':
+			b = append(b, '\\', 'r')
+		case r == '\t':
+			b = append(b, '\\', 't')
+		case r < 0x20:
+			b = append(b, '\\', 'u', '0', '0', hex[r>>4], hex[r&0xf])
+		default:
+			b = utf8.AppendRune(b, r)
+		}
+	}
+	return append(b, '"')
 }
 
 // JSONL is a Sink that streams events as JSON Lines to a writer.
@@ -93,15 +122,15 @@ func (j *JSONL) Flush() error {
 
 // eventJSON mirrors the JSONL schema for decoding in tests and tools.
 type eventJSON struct {
-	Cycle      uint64  `json:"cycle"`
-	Kind       string  `json:"kind"`
-	Packet     uint64  `json:"packet"`
-	Board      *int    `json:"board"`
-	Wavelength *int    `json:"wavelength"`
-	Dest       *int    `json:"dest"`
-	From       *int    `json:"from"`
-	To         *int    `json:"to"`
-	Label      string  `json:"label"`
+	Cycle      uint64 `json:"cycle"`
+	Kind       string `json:"kind"`
+	Packet     uint64 `json:"packet"`
+	Board      *int   `json:"board"`
+	Wavelength *int   `json:"wavelength"`
+	Dest       *int   `json:"dest"`
+	From       *int   `json:"from"`
+	To         *int   `json:"to"`
+	Label      string `json:"label"`
 }
 
 // ParseEvent decodes one JSONL line back into an Event. Omitted

@@ -51,6 +51,21 @@ const (
 	// PhaseChange: the measurement phase machine advanced; Label is the
 	// new phase ("warmup", "measure", "drain", "done").
 	PhaseChange
+	// LaserFail: fault injection failed laser (Board, Wavelength → Dest);
+	// Label carries the fault kind ("kill", "degrade", "stick").
+	LaserFail
+	// LaserRestore: a transiently failed or stuck laser recovered; Label
+	// is "restore" or "unstick".
+	LaserRestore
+	// CtrlDrop: a control-ring message from RC Board to RC Dest was
+	// dropped by fault injection; Label is "outage" or "drop".
+	CtrlDrop
+	// CtrlDelay: a control-ring message from RC Board to RC Dest was
+	// delayed by fault injection.
+	CtrlDelay
+	// PacketDropFault: packet Packet (Board → Dest) was discarded at a
+	// permanently failed laser.
+	PacketDropFault
 
 	numKinds
 )
@@ -68,6 +83,11 @@ var kindNames = [numKinds]string{
 	LaserLevel:          "laser-level",
 	StageEnter:          "stage",
 	PhaseChange:         "phase",
+	LaserFail:           "laser-fail",
+	LaserRestore:        "laser-restore",
+	CtrlDrop:            "ctrl-drop",
+	CtrlDelay:           "ctrl-delay",
+	PacketDropFault:     "drop-fault",
 }
 
 // String implements fmt.Stringer.

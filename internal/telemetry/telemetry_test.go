@@ -3,12 +3,17 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
 )
+
+// updateGolden regenerates golden files instead of comparing against
+// them: go test ./internal/telemetry -run TestJSONLGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 // sampleEvents covers every kind and every optional-field combination
 // exercised by the simulator. The golden file pins the JSONL schema.
@@ -25,6 +30,12 @@ func sampleEvents() []Event {
 		{Cycle: 2010, Kind: LaserLevel, Board: 2, Wavelength: 1, Dest: 4, From: 3, To: 1},
 		{Cycle: 2011, Kind: LaserLevel, Board: 2, Wavelength: 2, Dest: 6, From: 0, To: 2},
 		{Cycle: 4000, Kind: ChannelReassign, Board: 7, Wavelength: 5, Dest: 3, From: 1, To: 7},
+		{Cycle: 5000, Kind: LaserFail, Board: 1, Wavelength: 2, Dest: 3, Label: "kill"},
+		{Cycle: 5100, Kind: LaserFail, Board: 4, Wavelength: 1, Dest: 5, Label: "degrade"},
+		{Cycle: 5200, Kind: LaserRestore, Board: 4, Wavelength: 1, Dest: 5, Label: "restore"},
+		{Cycle: 5300, Kind: CtrlDrop, Board: 2, Wavelength: -1, Dest: 3, Label: "outage"},
+		{Cycle: 5310, Kind: CtrlDelay, Board: 6, Wavelength: -1, Dest: 7},
+		{Cycle: 5400, Kind: PacketDropFault, Packet: 9, Board: 1, Wavelength: -1, Dest: 3},
 		{Cycle: 20000, Kind: PhaseChange, Board: -1, Wavelength: -1, Dest: -1, Label: "measure"},
 	}
 }
@@ -46,6 +57,11 @@ func encodeJSONL(evs []Event) []byte {
 func TestJSONLGolden(t *testing.T) {
 	got := encodeJSONL(sampleEvents())
 	golden := filepath.Join("testdata", "events.golden.jsonl")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+	}
 	want, err := os.ReadFile(golden)
 	if err != nil {
 		t.Fatalf("read golden: %v (regenerate with go test -run TestJSONLGolden -update)", err)
