@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -31,7 +32,8 @@ func main() {
 		loads    = flag.String("loads", "", "comma-separated loads (default 0.1..0.9)")
 		csvPath  = flag.String("csv", "", "write full results as CSV to this file")
 		svgDir   = flag.String("svg", "", "write one SVG chart per (figure, metric) into this directory")
-		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS/run-workers)")
+		runWork  = flag.Int("run-workers", 1, "intra-run worker threads per simulation (board-sharded, bit-identical to 1)")
 		quick    = flag.Bool("quick", false, "shorter warm-up/measurement (coarser, ~5x faster)")
 		boards   = flag.Int("boards", 8, "boards B")
 		nodes    = flag.Int("nodes", 8, "nodes per board D")
@@ -67,6 +69,17 @@ func main() {
 	base.Boards = *boards
 	base.NodesPerBoard = *nodes
 	base.Seed = *seed
+	// Budget the two parallelism levels against the machine: each of the
+	// -workers concurrent simulations spins up -run-workers threads, so
+	// the sweep default shrinks to keep the product near the core count.
+	base.Workers = *runWork
+	sweepWorkers := *workers
+	if sweepWorkers <= 0 && *runWork > 1 {
+		sweepWorkers = runtime.GOMAXPROCS(0) / *runWork
+		if sweepWorkers < 1 {
+			sweepWorkers = 1
+		}
+	}
 	if *quick {
 		base.WarmupCycles = 8000
 		base.MeasureCycles = 5000
@@ -85,7 +98,7 @@ func main() {
 		Patterns: pats,
 		Modes:    ms,
 		Loads:    ls,
-		Workers:  *workers,
+		Workers:  sweepWorkers,
 		OnResult: func(s sweep.Series, p sweep.Point) {
 			n := done.Inc()
 			elapsed := time.Since(start)

@@ -44,6 +44,7 @@ func main() {
 		cfgPath = flag.String("config", "", "load a JSON config file (flags override it)")
 		dump    = flag.String("dump-config", "", "write the effective config as JSON and exit")
 		journey = flag.Int("journey", 0, "after the run, print the traced journeys of N delivered packets")
+		workers = flag.Int("workers", 1, "intra-run worker threads (board-sharded; any count is bit-identical to 1)")
 
 		metricsOut = flag.String("metrics-out", "", "write per-window metrics as JSON Lines to this file")
 		eventsOut  = flag.String("events-out", "", "stream telemetry events as JSON Lines to this file")
@@ -85,6 +86,7 @@ func main() {
 	cfg.WarmupCycles = *warmup
 	cfg.MeasureCycles = *measure
 	cfg.DrainLimitCycles = *drain
+	cfg.Workers = *workers
 	if *faults != "" {
 		spec, err := erapid.LoadFaultSpec(*faults)
 		if err != nil {

@@ -76,6 +76,13 @@ type Config struct {
 	// injector driven by this spec (see internal/fault). An empty spec
 	// behaves bit-identically to nil.
 	Faults *fault.Spec `json:"Faults,omitempty"`
+
+	// Workers is the intra-run worker count for board-sharded parallel
+	// stepping. 0 and 1 select the serial engine (the default); larger
+	// values run the compute phase of each cycle on up to min(Workers,
+	// Boards) cores. Any value produces bit-identical results: same seed,
+	// same Result, same telemetry stream.
+	Workers int `json:",omitempty"`
 }
 
 // DefaultConfig returns the paper's 64-node operating point for a mode.
@@ -144,6 +151,8 @@ func (c Config) Validate() (*topology.Topology, error) {
 		return nil, fmt.Errorf("core: BurstLength must be 0 (Bernoulli) or >= 1 cycle")
 	case c.BurstDuty < 0 || c.BurstDuty > 1:
 		return nil, fmt.Errorf("core: BurstDuty must be in [0,1]")
+	case c.Workers < 0:
+		return nil, fmt.Errorf("core: Workers must be >= 0 (0 or 1 = serial); got %d", c.Workers)
 	}
 	if _, err := traffic.New(c.Pattern, top.TotalNodes()); err != nil {
 		return nil, err

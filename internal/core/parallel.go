@@ -1,0 +1,190 @@
+// Deterministic intra-run parallelism: the system side of the two-phase
+// compute/commit cycle engine.
+//
+// A cycle in parallel mode runs as
+//
+//	serial head    engine events (LS control), due optical deliveries,
+//	               fault strikes, measurement advance, metering switch
+//	compute A      per board: injector RNG draws (independent per-node
+//	               streams) into the board's draw outbox
+//	serial middle  packet admission in global node order: IDs, labeling,
+//	               pool recycling, inject events, NIC enqueue
+//	compute B      per board: NIC ticks, rx ticks, IBI tick, fabric
+//	               board tick — board-local state only, shared effects
+//	               deferred into per-board outboxes
+//	serial commit  outboxes drained in ascending board order (NIC
+//	               events, deliveries, fabric side effects), then the
+//	               history/telemetry observers
+//
+// Every serial sub-order above matches the order the serial step visits
+// the same points in (the serial step iterates NICs in node order,
+// boards in ascending order, transmitters and lasers board-major), so a
+// parallel run commits identical state — including the float-addition
+// order of the power meter and the byte order of the telemetry stream —
+// regardless of worker count.
+package core
+
+import (
+	"repro/internal/flit"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// injDraw is one positive injector decision from compute phase A.
+type injDraw struct{ node, dst int }
+
+// pendingDeliver is one packet ejected during compute phase B, awaiting
+// its serial delivery accounting.
+type pendingDeliver struct {
+	p  *flit.Packet
+	at uint64
+}
+
+// parState is the parallel-stepping state: the worker pool plus one
+// outbox set per board. Outboxes are indexed by board, owned by the
+// board's worker during compute phases and drained serially at commit;
+// their backing arrays are retained across cycles.
+type parState struct {
+	pool *sim.Pool
+	// computing is written only by the driving goroutine outside the
+	// pool's dispatch window (the pool barrier provides happens-before),
+	// so workers read it race-free.
+	computing bool
+
+	draws     [][]injDraw
+	nicEvents [][]telemetry.Event
+	delivered [][]pendingDeliver
+}
+
+// enableParallel switches the system to two-phase stepping with the
+// given worker count (clamped to the board count — boards are the shard
+// unit).
+func (s *System) enableParallel(workers int) {
+	nb := len(s.boards)
+	if workers > nb {
+		workers = nb
+	}
+	s.par = &parState{
+		pool:      sim.NewPool(workers),
+		draws:     make([][]injDraw, nb),
+		nicEvents: make([][]telemetry.Event, nb),
+		delivered: make([][]pendingDeliver, nb),
+	}
+	s.fab.EnableParallel()
+}
+
+// Workers returns the effective intra-run worker count (1 for serial
+// systems).
+func (s *System) Workers() int {
+	if s.par == nil {
+		return 1
+	}
+	return s.par.pool.Workers()
+}
+
+// Close releases the worker pool's goroutines. It is idempotent, safe
+// on serial systems, and called by Run; drivers that step a parallel
+// system manually should Close it when done.
+func (s *System) Close() {
+	if s.par != nil {
+		s.par.pool.Close()
+	}
+}
+
+// drawBoard runs compute phase A for one board: step the board's
+// injectors (each on its own derived RNG stream) and record the
+// positive draws, in node order, in the board's outbox.
+func (s *System) drawBoard(bi int) {
+	base := s.top.NodeID(0, bi, 0)
+	d := s.top.NodesPerBoard()
+	draws := s.par.draws[bi][:0]
+	for n := base; n < base+d; n++ {
+		if dst, ok := s.injectors[n].Step(); ok {
+			draws = append(draws, injDraw{node: n, dst: dst})
+		}
+	}
+	s.par.draws[bi] = draws
+}
+
+// tickBoardCompute runs compute phase B for one board, in the serial
+// step's intra-board order: node NICs, rx sources, the IBI router, then
+// the board's slice of the optical fabric. Cross-board interactions all
+// mature next cycle (flit readyAt and credit stamps are > now), so
+// per-board grouping commutes with the serial all-NICs-first order.
+func (s *System) tickBoardCompute(bi int, now uint64) {
+	base := s.top.NodeID(0, bi, 0)
+	d := s.top.NodesPerBoard()
+	for n := base; n < base+d; n++ {
+		if nic := s.nics[n]; nic.HasWork() {
+			nic.Tick(now)
+		}
+	}
+	bd := s.boards[bi]
+	for _, rx := range bd.rxSources {
+		if rx.HasWork() {
+			rx.Tick(now)
+		}
+	}
+	if bd.ibi.HasWork() {
+		bd.ibi.Tick(now)
+	}
+	s.fab.TickBoard(bi, now)
+}
+
+// stepParallel advances one cycle in compute/commit mode. It is
+// bit-identical to the serial step for the same seed.
+func (s *System) stepParallel(now uint64) {
+	s.stepHead(now)
+	par := s.par
+
+	// Compute phase A: injector draws.
+	par.computing = true
+	par.pool.Run(len(s.boards), func(bi int) { s.drawBoard(bi) })
+	par.computing = false
+
+	// Serial middle: admit packets in global node order (contiguous
+	// ascending board shards keep each outbox in node order, so draining
+	// boards in order reproduces the serial injectAll sequence).
+	for bi := range s.boards {
+		for _, dr := range par.draws[bi] {
+			s.injectOne(dr.node, dr.dst, now)
+		}
+	}
+
+	// Compute phase B: board-local ticking with deferred shared effects.
+	par.computing = true
+	s.fab.BeginBoardTick()
+	par.pool.Run(len(s.boards), func(bi int) { s.tickBoardCompute(bi, now) })
+	par.computing = false
+
+	// Serial commit: drain outboxes in canonical board order — NIC
+	// dequeue events, then deliveries, then the fabric's deferred side
+	// effects (tx sub-phases, laser sub-phases, idle-power sample,
+	// deactivations) — exactly the serial step's emission order.
+	if s.tel != nil {
+		for bi := range s.boards {
+			evs := par.nicEvents[bi]
+			for i := range evs {
+				s.tel.Emit(evs[i])
+			}
+			par.nicEvents[bi] = evs[:0]
+		}
+	}
+	for bi := range s.boards {
+		dvs := par.delivered[bi]
+		for i := range dvs {
+			s.deliverNow(dvs[i].p, dvs[i].at)
+			dvs[i] = pendingDeliver{}
+		}
+		par.delivered[bi] = dvs[:0]
+	}
+	s.fab.CommitBoardTick(now)
+
+	if s.history != nil {
+		s.history.observe(now)
+	}
+	if s.telemetry != nil {
+		s.telemetry.observe(now)
+	}
+	s.cycle = now
+}

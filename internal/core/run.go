@@ -34,8 +34,10 @@ func (s *System) Run() *Result {
 	}
 	s.eng.Stop()
 	res := s.result(now, truncated)
-	// Release the RC process goroutines: the run is complete.
+	// Release the RC process goroutines and the worker pool: the run is
+	// complete.
 	s.eng.Shutdown()
+	s.Close()
 	return res
 }
 

@@ -36,11 +36,18 @@ type System struct {
 	nics      []*link.PacketSource // indexed by global node id
 	nextPkt   flit.PacketID
 
-	// routeWS is the route choice's reusable wavelength scratch buffer.
-	routeWS []int
+	// par is the parallel-stepping state (worker pool and per-board
+	// outboxes); nil on serial systems (Workers <= 1), which keeps the
+	// serial step on the exact pre-parallel code path.
+	par *parState
+
 	// freePkts recycles delivered, untraced packets (and their flit
 	// slabs) so the steady-state injection path allocates nothing.
 	freePkts []*flit.Packet
+	// pktBlock serves pool misses in 256-packet chunks: when offered load
+	// exceeds saturation the in-flight population grows every cycle, and
+	// chunking amortizes that growth to two allocations per chunk.
+	pktBlock *flit.Block
 
 	injected  uint64
 	delivered uint64
@@ -79,6 +86,9 @@ type board struct {
 	// wavelength.
 	rxSources []*link.PacketSource // index w-1
 	rrW       int                  // tie-break rotation for route choices
+	// routeWS is the board's reusable route-choice wavelength scratch
+	// buffer; per board so concurrent IBI ticks never share it.
+	routeWS []int
 }
 
 // NewSystem validates the configuration and assembles the network.
@@ -132,6 +142,10 @@ func NewSystem(cfg Config) (*System, error) {
 	if err := s.assemble(); err != nil {
 		return nil, err
 	}
+	s.pktBlock = flit.NewBlock((&flit.Packet{Size: cfg.PacketBytes, FlitBytes: cfg.FlitBytes}).Flits())
+	if cfg.Workers > 1 {
+		s.enableParallel(cfg.Workers)
+	}
 	return s, nil
 }
 
@@ -184,7 +198,15 @@ func (s *System) assemble() error {
 			nic.OnDequeue = func(p *flit.Packet, now uint64) {
 				p.NetworkAt = now
 				if s.tel != nil {
-					s.tel.Emit(telemetry.Event{Cycle: now, Kind: telemetry.PacketNetEnter, Packet: uint64(p.ID), Board: p.SrcBoard, Wavelength: -1, Dest: -1})
+					ev := telemetry.Event{Cycle: now, Kind: telemetry.PacketNetEnter, Packet: uint64(p.ID), Board: p.SrcBoard, Wavelength: -1, Dest: -1}
+					if par := s.par; par != nil && par.computing {
+						// Compute phase: buffer in the source board's outbox;
+						// the commit drains boards in ascending order, which
+						// reproduces the serial all-NICs node-order stream.
+						par.nicEvents[p.SrcBoard] = append(par.nicEvents[p.SrcBoard], ev)
+					} else {
+						s.tel.Emit(ev)
+					}
 				}
 			}
 			bd.ibi.SetInputCreditSink(n, nic)
@@ -262,8 +284,8 @@ func (s *System) routeFunc(bd *board) router.RouteFunc {
 		if p.DstBoard == bd.idx {
 			return top.Local(p.Dst)
 		}
-		ws := s.fab.AppendHoldersToward(s.routeWS[:0], bd.idx, p.DstBoard)
-		s.routeWS = ws
+		ws := s.fab.AppendHoldersToward(bd.routeWS[:0], bd.idx, p.DstBoard)
+		bd.routeWS = ws
 		if len(ws) == 0 {
 			return d + top.Wavelength(bd.idx, p.DstBoard) - 1
 		}
@@ -280,9 +302,23 @@ func (s *System) routeFunc(bd *board) router.RouteFunc {
 	}
 }
 
-// onDeliver is the ejection callback: it stamps the packet and feeds the
-// measurement.
+// onDeliver is the ejection callback. During a parallel compute phase
+// it only buffers the delivery in the destination board's outbox (the
+// shared measurement, stats and telemetry state it feeds is
+// order-sensitive); the commit phase replays the outboxes through
+// deliverNow in canonical board order, which is exactly the order the
+// serial per-board IBI ticks produce deliveries in.
 func (s *System) onDeliver(p *flit.Packet, now uint64) {
+	if par := s.par; par != nil && par.computing {
+		par.delivered[p.DstBoard] = append(par.delivered[p.DstBoard], pendingDeliver{p: p, at: now})
+		return
+	}
+	s.deliverNow(p, now)
+}
+
+// deliverNow stamps a delivered packet and feeds the measurement; it
+// always runs in a serial phase.
+func (s *System) deliverNow(p *flit.Packet, now uint64) {
 	p.ReceivedAt = now
 	s.delivered++
 	if s.meas.Phase() == stats.Measure {
@@ -322,39 +358,47 @@ func (s *System) onFaultDrop(p *flit.Packet, now uint64) {
 // injectAll steps every node's Bernoulli process for one cycle.
 func (s *System) injectAll(now uint64) {
 	for n, inj := range s.injectors {
-		dst, ok := inj.Step()
-		if !ok {
-			continue
+		if dst, ok := inj.Step(); ok {
+			s.injectOne(n, dst, now)
 		}
-		s.nextPkt++
-		var p *flit.Packet
-		if k := len(s.freePkts); k > 0 {
-			p = s.freePkts[k-1]
-			s.freePkts[k-1] = nil
-			s.freePkts = s.freePkts[:k-1]
-			p.Reset()
-		} else {
-			p = &flit.Packet{}
-		}
-		p.ID = s.nextPkt
-		p.Src = n
-		p.Dst = dst
-		p.SrcBoard = s.top.Board(n)
-		p.DstBoard = s.top.Board(dst)
-		p.Size = s.cfg.PacketBytes
-		p.FlitBytes = s.cfg.FlitBytes
-		p.InjectedAt = now
-		p.Labeled = s.meas.OnInject(now)
-		s.injected++
-		if s.tel != nil {
-			s.tel.Emit(telemetry.Event{Cycle: now, Kind: telemetry.PacketInject, Packet: uint64(p.ID), Board: p.SrcBoard, Wavelength: -1, Dest: -1})
-		}
-		s.nics[n].Enqueue(p)
 	}
 }
 
-// step advances the whole system by one cycle.
-func (s *System) step(now uint64) {
+// injectOne admits one packet from node n to dst: packet IDs, labeling,
+// pool recycling and the inject event all happen here, in global node
+// order — serially in both stepping modes (the parallel path only draws
+// the RNG decisions concurrently).
+func (s *System) injectOne(n, dst int, now uint64) {
+	s.nextPkt++
+	var p *flit.Packet
+	if k := len(s.freePkts); k > 0 {
+		p = s.freePkts[k-1]
+		s.freePkts[k-1] = nil
+		s.freePkts = s.freePkts[:k-1]
+		p.Reset()
+	} else {
+		p = s.pktBlock.Get()
+	}
+	p.ID = s.nextPkt
+	p.Src = n
+	p.Dst = dst
+	p.SrcBoard = s.top.Board(n)
+	p.DstBoard = s.top.Board(dst)
+	p.Size = s.cfg.PacketBytes
+	p.FlitBytes = s.cfg.FlitBytes
+	p.InjectedAt = now
+	p.Labeled = s.meas.OnInject(now)
+	s.injected++
+	if s.tel != nil {
+		s.tel.Emit(telemetry.Event{Cycle: now, Kind: telemetry.PacketInject, Packet: uint64(p.ID), Board: p.SrcBoard, Wavelength: -1, Dest: -1})
+	}
+	s.nics[n].Enqueue(p)
+}
+
+// stepHead is the serial head of a cycle, identical in both stepping
+// modes: control-plane engine events, due optical deliveries, fault
+// strikes, measurement phase advance and the metering switch.
+func (s *System) stepHead(now uint64) {
 	s.eng.RunUntil(now)
 	// Completed optical transmissions enqueue into the rx sources before
 	// any component ticks, as when deliveries were engine events.
@@ -382,6 +426,15 @@ func (s *System) step(now uint64) {
 			s.fab.EnableMetering(false)
 		}
 	}
+}
+
+// step advances the whole system by one cycle.
+func (s *System) step(now uint64) {
+	if s.par != nil {
+		s.stepParallel(now)
+		return
+	}
+	s.stepHead(now)
 	s.injectAll(now)
 	// Active-set scheduling: visit components in the same deterministic
 	// order as the exhaustive scan, skipping the ones that provably have

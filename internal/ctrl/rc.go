@@ -66,6 +66,9 @@ type RC struct {
 	// lastAssign records the most recent holder map this RC computed for
 	// its incoming channels (diagnostics).
 	lastAssign []int
+	// snap is the window-snapshot scratch, reused across windows (each
+	// window's snapshot is fully consumed before the next one is taken).
+	snap [][]laserSnap
 }
 
 func newRC(s *System, board int) *RC {
@@ -119,12 +122,18 @@ func (rc *RC) snapshotAndReset() [][]laserSnap {
 	// Idle lasers accrue window statistics lazily; bring them up to date
 	// before reading and resetting the windows.
 	rc.sys.fab.FlushStats(rc.sys.eng.Now())
-	snap := make([][]laserSnap, b)
+	if rc.snap == nil {
+		rc.snap = make([][]laserSnap, b)
+		for w := 1; w < b; w++ {
+			rc.snap[w] = make([]laserSnap, b)
+		}
+	}
+	snap := rc.snap
 	for w := 1; w < b; w++ {
-		snap[w] = make([]laserSnap, b)
 		for d := 0; d < b; d++ {
 			l := rc.sys.fab.Laser(rc.board, w, d)
 			if l == nil {
+				snap[w][d] = laserSnap{}
 				continue
 			}
 			snap[w][d] = laserSnap{

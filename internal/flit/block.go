@@ -1,0 +1,46 @@
+package flit
+
+// blockPackets is the chunk size of the block allocator: pool-miss
+// packets (and their flit slabs) are carved from arrays this many
+// packets long.
+const blockPackets = 256
+
+// Block is a chunked packet allocator for the injection pool-miss path.
+// An over-saturated open-loop workload grows its in-flight population
+// every cycle, so the recycling pool alone cannot make injection
+// allocation-free: fresh packets must come from somewhere. Block carves
+// them — together with their flit slabs — out of two contiguous arrays,
+// so the growth costs two allocations per 256 packets instead of two per
+// packet, with no per-object size-class rounding and far less GC scan
+// pressure.
+//
+// Packets handed out by Get are never returned to the Block; they are
+// recycled through the caller's free list like any other packet (Reset
+// keeps the pre-wired slab).
+type Block struct {
+	flits int // slab capacity pre-wired into each packet
+	pkts  []Packet
+	slabs []Flit
+}
+
+// NewBlock creates a block allocator whose packets carry a pre-wired
+// slab of flitsPerPacket flits (the run's fixed packet geometry).
+func NewBlock(flitsPerPacket int) *Block {
+	if flitsPerPacket < 1 {
+		flitsPerPacket = 1
+	}
+	return &Block{flits: flitsPerPacket}
+}
+
+// Get returns a zeroed packet with a pre-wired flit slab.
+func (b *Block) Get() *Packet {
+	if len(b.pkts) == 0 {
+		b.pkts = make([]Packet, blockPackets)
+		b.slabs = make([]Flit, blockPackets*b.flits)
+	}
+	p := &b.pkts[0]
+	b.pkts = b.pkts[1:]
+	p.slab = b.slabs[0:0:b.flits]
+	b.slabs = b.slabs[b.flits:]
+	return p
+}

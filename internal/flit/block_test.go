@@ -1,0 +1,50 @@
+package flit
+
+import "testing"
+
+// TestBlockGet checks the chunked allocator's contract: distinct zeroed
+// packets whose pre-wired slab lets Flitize run without allocating.
+func TestBlockGet(t *testing.T) {
+	b := NewBlock(8)
+	seen := map[*Packet]bool{}
+	for i := 0; i < 3*blockPackets; i++ {
+		p := b.Get()
+		if seen[p] {
+			t.Fatalf("packet %d: pointer handed out twice", i)
+		}
+		seen[p] = true
+		if p.ID != 0 || p.Src != 0 || p.InjectedAt != 0 {
+			t.Fatalf("packet %d: not zeroed: %+v", i, p)
+		}
+		if cap(p.slab) != 8 {
+			t.Fatalf("packet %d: slab cap %d, want 8", i, cap(p.slab))
+		}
+	}
+}
+
+// TestBlockFlitizeNoAlloc verifies a Block packet serializes without
+// touching the allocator (the slab is pre-wired at Get).
+func TestBlockFlitizeNoAlloc(t *testing.T) {
+	b := NewBlock(8)
+	p := b.Get()
+	p.Size = 512
+	p.FlitBytes = 64
+	if n := p.Flits(); n != 8 {
+		t.Fatalf("Flits() = %d, want 8", n)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		p.Flitize()
+	})
+	if allocs != 0 {
+		t.Errorf("Flitize on Block packet: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestBlockMinimumSlab pins the clamp: a degenerate geometry still gets
+// a one-flit slab.
+func TestBlockMinimumSlab(t *testing.T) {
+	b := NewBlock(0)
+	if p := b.Get(); cap(p.slab) != 1 {
+		t.Errorf("slab cap %d, want 1", cap(p.slab))
+	}
+}

@@ -231,7 +231,11 @@ func (l *Laser) SetLevel(level int, now, relockCycles uint64) {
 	if l.fab != nil {
 		l.fab.refreshIdle(l)
 		if l.fab.observer != nil {
-			l.fab.observer.LaserLevel(l.s, l.w, l.d, from, level, now)
+			if dp := l.fab.deferring(); dp != nil {
+				dp.deferOp(l.s, fabOp{kind: opObsLevel, s: l.s, w: l.w, d: l.d, from: from, to: level, at: now})
+			} else {
+				l.fab.observer.LaserLevel(l.s, l.w, l.d, from, level, now)
+			}
 		}
 	}
 }
@@ -267,9 +271,13 @@ type Fabric struct {
 
 	deliver [][]DeliverFunc // [d][w]
 
-	// activeLasers holds, in canonical (s, w, d) order, every laser with
-	// queued packets or an in-flight serialization. Only these are ticked.
-	activeLasers []*Laser
+	// active holds, per source board and in canonical (w, d) order within
+	// each board, every laser with queued packets or an in-flight
+	// serialization. Only these are ticked. Iterating boards in ascending
+	// order visits lasers in exactly the canonical (s, w, d) order the
+	// exhaustive scan used; keeping the lists per board makes each one
+	// private to the board's shard under parallel stepping.
+	active [][]*Laser
 	// idleLitMW is the summed supply power of lit, operating lasers that
 	// are NOT on the active list; it is added to the meter in one call per
 	// metered cycle so idle lasers need no per-cycle visit.
@@ -280,8 +288,15 @@ type Fabric struct {
 	delHeap []delivery
 	delSeq  uint64
 
-	// deactScratch collects lasers leaving the active list within a Tick.
-	deactScratch []*Laser
+	// deact collects, per board, lasers leaving the active list within a
+	// Tick; their idle-aggregate refresh is deferred past the cycle's
+	// idle-power sample.
+	deact [][]*Laser
+
+	// par holds the deferred side-effect logs for parallel board ticking;
+	// nil on serial fabrics (the serial hot path pays one nil check per
+	// deferral point).
+	par *fabPar
 
 	meter        *power.Meter
 	meterEnabled bool
@@ -324,6 +339,8 @@ func NewFabric(top *topology.Topology, eng *sim.Engine, cfg Config) (*Fabric, er
 	}
 	b := top.Boards()
 	f := &Fabric{top: top, eng: eng, cfg: cfg, meter: power.NewMeter(cfg.CycleNS)}
+	f.active = make([][]*Laser, b)
+	f.deact = make([][]*Laser, b)
 	f.channels = make([][]*Channel, b)
 	f.deliver = make([][]DeliverFunc, b)
 	for d := 0; d < b; d++ {
@@ -374,13 +391,22 @@ func (f *Fabric) litIdleMW(l *Laser) float64 {
 
 // refreshIdle re-derives one laser's contribution to the idle-laser
 // supply aggregate after any change to its level, holder or active
-// status.
+// status. During a parallel compute phase the (order-sensitive) float
+// update of the shared aggregate is deferred to the commit replay; the
+// delta itself is computed here, at the same semantic point as the
+// serial path, so the replayed addition sequence is bit-identical.
 func (f *Fabric) refreshIdle(l *Laser) {
 	c := f.litIdleMW(l)
-	if c != l.idleContrib {
-		f.idleLitMW += c - l.idleContrib
-		l.idleContrib = c
+	if c == l.idleContrib {
+		return
 	}
+	delta := c - l.idleContrib
+	l.idleContrib = c
+	if p := f.deferring(); p != nil {
+		p.deferOp(l.s, fabOp{kind: opIdleDelta, mw: delta})
+		return
+	}
+	f.idleLitMW += delta
 }
 
 // syncStats fills in the idle span [l.statsAt, now) of a laser's window
@@ -411,28 +437,30 @@ func (f *Fabric) FlushStats(now uint64) {
 	}
 }
 
-// activateLaser puts a laser on the active list (no-op when already
-// there), first batching in the idle span it skipped. Binary insertion
-// keeps the list in canonical (s, w, d) order so active lasers are
-// visited in exactly the order the exhaustive scan used.
+// activateLaser puts a laser on its board's active list (no-op when
+// already there), first batching in the idle span it skipped. Binary
+// insertion keeps each board's list in canonical (w, d) order so active
+// lasers are visited in exactly the order the exhaustive scan used.
 func (f *Fabric) activateLaser(l *Laser, now uint64) {
 	if l.active {
 		return
 	}
 	f.syncStats(l, now)
 	l.active = true
-	lo, hi := 0, len(f.activeLasers)
+	lst := f.active[l.s]
+	lo, hi := 0, len(lst)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if f.activeLasers[mid].key < l.key {
+		if lst[mid].key < l.key {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	f.activeLasers = append(f.activeLasers, nil)
-	copy(f.activeLasers[lo+1:], f.activeLasers[lo:])
-	f.activeLasers[lo] = l
+	lst = append(lst, nil)
+	copy(lst[lo+1:], lst[lo:])
+	lst[lo] = l
+	f.active[l.s] = lst
 	f.refreshIdle(l)
 }
 
@@ -484,6 +512,7 @@ func (f *Fabric) EnableMetering(on bool) { f.meterEnabled = on }
 // policy) guarantee this by only re-allocating under-utilized channels.
 // The acquiring laser starts at the given level with a relock window.
 func (f *Fabric) Reassign(d, w, newHolder int, level int, now uint64) error {
+	f.assertSerialPhase("Reassign")
 	ch := f.channels[d][w]
 	if newHolder == d {
 		return fmt.Errorf("optical: cannot assign channel (%d,λ%d) to its own destination", d, w)
@@ -532,6 +561,7 @@ func (f *Fabric) Reassign(d, w, newHolder int, level int, now uint64) error {
 // the transmitter drop packets routed to it; a transient failure holds
 // its queue until RestoreLaser.
 func (f *Fabric) FailLaser(s, w, d int, permanent bool, now uint64) {
+	f.assertSerialPhase("FailLaser")
 	l := f.lasers[s][w][d]
 	if l == nil {
 		panic(fmt.Sprintf("optical: FailLaser(%d,λ%d→%d): no such laser", s, w, d))
@@ -555,6 +585,7 @@ func (f *Fabric) FailLaser(s, w, d int, permanent bool, now uint64) {
 // the relock penalty before transmitting again (the receiver must
 // re-acquire the returning source).
 func (f *Fabric) RestoreLaser(s, w, d int, now uint64) {
+	f.assertSerialPhase("RestoreLaser")
 	l := f.lasers[s][w][d]
 	if l == nil {
 		panic(fmt.Sprintf("optical: RestoreLaser(%d,λ%d→%d): no such laser", s, w, d))
@@ -572,6 +603,7 @@ func (f *Fabric) RestoreLaser(s, w, d int, now uint64) {
 // UnstickLaser, every SetLevel — DPM decisions, reassignment relevels —
 // is silently ignored (a stuck DPM actuator).
 func (f *Fabric) StickLaser(s, w, d, level int, now uint64) {
+	f.assertSerialPhase("StickLaser")
 	l := f.lasers[s][w][d]
 	if l == nil {
 		panic(fmt.Sprintf("optical: StickLaser(%d,λ%d→%d): no such laser", s, w, d))
@@ -698,14 +730,41 @@ func (f *Fabric) PendingDeliveries() int { return len(f.delHeap) }
 // forward in bulk (syncStats, idleLitMW).
 func (f *Fabric) Tick(now uint64) {
 	f.DeliverDue(now)
-	for _, tx := range f.txs {
+	nb := len(f.active)
+	for s := 0; s < nb; s++ {
+		f.tickBoardTx(s, now)
+	}
+	for s := 0; s < nb; s++ {
+		f.tickBoardLasers(s, now)
+	}
+	if f.meterEnabled {
+		f.meter.AddCycleMW(f.idleLitMW, false)
+		f.meter.Observe(1)
+	}
+	// Lasers deactivated this cycle were metered by tickLaser above; they
+	// join the idle aggregate only from the next cycle on.
+	for s := 0; s < nb; s++ {
+		f.flushDeact(s)
+	}
+}
+
+// tickBoardTx advances board s's transmitters one cycle.
+func (f *Fabric) tickBoardTx(s int, now uint64) {
+	wpb := f.top.Boards() - 1
+	for _, tx := range f.txs[s*wpb : (s+1)*wpb] {
 		if tx.pending > 0 {
 			tx.tick(now)
 		}
 	}
-	kept := f.activeLasers[:0]
-	deact := f.deactScratch[:0]
-	for _, l := range f.activeLasers {
+}
+
+// tickBoardLasers advances board s's active lasers one cycle, compacting
+// lasers that go idle onto the board's deferred-deactivation list.
+func (f *Fabric) tickBoardLasers(s int, now uint64) {
+	lst := f.active[s]
+	kept := lst[:0]
+	deact := f.deact[s][:0]
+	for _, l := range lst {
 		f.tickLaser(l, now)
 		if len(l.queue) > 0 || l.busyUntil > now+1 {
 			kept = append(kept, l)
@@ -714,21 +773,23 @@ func (f *Fabric) Tick(now uint64) {
 			deact = append(deact, l)
 		}
 	}
-	for i := len(kept); i < len(f.activeLasers); i++ {
-		f.activeLasers[i] = nil
+	for i := len(kept); i < len(lst); i++ {
+		lst[i] = nil
 	}
-	f.activeLasers = kept
-	if f.meterEnabled {
-		f.meter.AddCycleMW(f.idleLitMW, false)
-		f.meter.Observe(1)
-	}
-	// Lasers deactivated this cycle were metered by tickLaser above; they
-	// join the idle aggregate only from the next cycle on.
-	for i, l := range deact {
+	f.active[s] = kept
+	f.deact[s] = deact
+}
+
+// flushDeact re-derives the idle supply contribution of board s's lasers
+// that left the active list this cycle (they join the idle aggregate
+// only from the next cycle on).
+func (f *Fabric) flushDeact(s int) {
+	d := f.deact[s]
+	for i, l := range d {
 		f.refreshIdle(l)
-		deact[i] = nil
+		d[i] = nil
 	}
-	f.deactScratch = deact[:0]
+	f.deact[s] = d[:0]
 }
 
 func (f *Fabric) tickLaser(l *Laser, now uint64) {
@@ -736,9 +797,15 @@ func (f *Fabric) tickLaser(l *Laser, now uint64) {
 	lit := ch.holder == l.s && !l.failed
 	if lit && l.level == 0 && len(l.queue) > 0 && f.cfg.Ladder.Operating(f.autoWake) {
 		l.SetLevel(f.autoWake, now, f.cfg.RelockCycles)
-		f.wakes++
+		if dp := f.deferring(); dp != nil {
+			dp.deferOp(l.s, fabOp{kind: opWake})
+		} else {
+			f.wakes++
+		}
 	}
-	// Try to start a transmission.
+	// Try to start a transmission. Writing ch.busyUntil from the compute
+	// phase is race-free: a channel is driven by exactly one holder board
+	// (l.s here), and holders only change in the serial control phase.
 	if lit && len(l.queue) > 0 && l.Operating() &&
 		!l.Disabled(now) && !l.Busy(now) && !ch.Busy(now) {
 		p := l.queue[0]
@@ -746,12 +813,20 @@ func (f *Fabric) tickLaser(l *Laser, now uint64) {
 		l.queue[len(l.queue)-1] = nil
 		l.queue = l.queue[:len(l.queue)-1]
 		if f.observer != nil {
-			f.observer.LaserTransmit(l.s, l.w, l.d, p, now)
+			if dp := f.deferring(); dp != nil {
+				dp.deferOp(l.s, fabOp{kind: opObsTransmit, s: l.s, w: l.w, d: l.d, p: p, at: now})
+			} else {
+				f.observer.LaserTransmit(l.s, l.w, l.d, p, now)
+			}
 		}
 		ser := f.cfg.Ladder.SerializationCycles(p.Bits(), l.level, f.cfg.CycleNS)
 		l.busyUntil = now + ser
 		ch.busyUntil = now + ser
-		f.pushDelivery(now+ser+f.cfg.PropCycles, l.d, l.w, p)
+		if dp := f.deferring(); dp != nil {
+			dp.deferOp(l.s, fabOp{kind: opDelivery, d: l.d, w: l.w, p: p, at: now + ser + f.cfg.PropCycles})
+		} else {
+			f.pushDelivery(now+ser+f.cfg.PropCycles, l.d, l.w, p)
+		}
 		l.sentPackets++
 	}
 	busy := l.Busy(now)
@@ -762,7 +837,11 @@ func (f *Fabric) tickLaser(l *Laser, now uint64) {
 	l.BufWin.AddN(uint64(len(l.queue)), uint64(f.cfg.QueueCap))
 	l.statsAt = now + 1
 	if f.meterEnabled && lit && l.Operating() {
-		f.meter.AddCycleMW(f.cfg.Ladder.MW(l.level), busy)
+		if dp := f.deferring(); dp != nil {
+			dp.deferOp(l.s, fabOp{kind: opMeter, mw: f.cfg.Ladder.MW(l.level), busy: busy})
+		} else {
+			f.meter.AddCycleMW(f.cfg.Ladder.MW(l.level), busy)
+		}
 	}
 }
 

@@ -1,0 +1,186 @@
+// Parallel board ticking: the fabric side of the two-phase
+// compute/commit cycle engine.
+//
+// During the compute phase each board is ticked by exactly one worker
+// (TickBoard). Board-local state — transmitter reassembly buffers, laser
+// queues and windows, the board's active list, channel busy times (a
+// channel has exactly one holder board, and holders only change in the
+// serial control phase) — is mutated in place. Every side effect that
+// touches shared, order-sensitive state is instead recorded in a
+// per-board, per-sub-phase log:
+//
+//   - idle-aggregate float deltas (refreshIdle): float addition is not
+//     associative, so the deltas are computed in place but summed into
+//     idleLitMW only at commit, in the serial order;
+//   - power-meter samples (AddCycleMW): same float-ordering argument;
+//   - delivery-heap pushes: the FIFO tiebreak seq is assigned at commit;
+//   - drop-hook calls and observer events: they re-enter the core layer
+//     (measurement, telemetry), which is serial-only;
+//   - auto-wake counter increments.
+//
+// CommitBoardTick replays the logs in canonical order — all boards' tx
+// sub-phase logs in ascending board order, then all laser sub-phase
+// logs, then the cycle's idle-power sample, then the deferred
+// deactivation refreshes — which is exactly the order the serial Tick
+// produces those effects in, so the committed state and the emitted
+// event stream are bit-identical to a serial run.
+package optical
+
+import "repro/internal/flit"
+
+// Sub-phase log indices: the order they are replayed in at commit.
+const (
+	logTx = iota
+	logLaser
+	logDeact
+	numLogs
+)
+
+// fabOp kinds.
+const (
+	opIdleDelta   uint8 = iota // idleLitMW += mw
+	opMeter                    // meter.AddCycleMW(mw, busy)
+	opDelivery                 // pushDelivery(at, d, w, p)
+	opWake                     // wakes++
+	opDrop                     // dropHook(p, at)
+	opObsEnqueue               // observer.LaserEnqueue(s, w, d, p, at)
+	opObsTransmit              // observer.LaserTransmit(s, w, d, p, at)
+	opObsLevel                 // observer.LaserLevel(s, w, d, from, to, at)
+)
+
+// fabOp is one deferred shared-state side effect, recorded during the
+// parallel compute phase and replayed serially at commit.
+type fabOp struct {
+	kind     uint8
+	s, w, d  int
+	from, to int
+	at       uint64
+	mw       float64
+	busy     bool
+	p        *flit.Packet
+}
+
+// fabPar is the fabric's parallel-stepping state: one log set per board,
+// owned by the board's worker during compute and drained by the serial
+// commit. The logs' backing arrays are retained across cycles, so the
+// steady state appends without allocating.
+type fabPar struct {
+	// computing marks an in-progress compute phase. It is written only by
+	// the driving goroutine, before workers are dispatched and after they
+	// join (the pool barrier provides the happens-before edges), so
+	// workers read it race-free.
+	computing bool
+	// cur selects each board's current sub-phase log (TickBoard switches
+	// it between the tx, laser and deactivation sub-phases).
+	cur  []uint8
+	logs [][numLogs][]fabOp
+}
+
+// deferOp appends a side effect to board s's current sub-phase log.
+func (p *fabPar) deferOp(s int, op fabOp) {
+	lg := &p.logs[s][p.cur[s]]
+	*lg = append(*lg, op)
+}
+
+// deferring returns the parallel log set when a compute phase is in
+// progress, nil otherwise (the serial fast path).
+func (f *Fabric) deferring() *fabPar {
+	if p := f.par; p != nil && p.computing {
+		return p
+	}
+	return nil
+}
+
+// EnableParallel allocates the per-board side-effect logs for parallel
+// board ticking. Call once, before the first TickBoard.
+func (f *Fabric) EnableParallel() {
+	b := f.top.Boards()
+	f.par = &fabPar{cur: make([]uint8, b), logs: make([][numLogs][]fabOp, b)}
+}
+
+// BeginBoardTick enters the compute phase: until CommitBoardTick, every
+// shared side effect is deferred into per-board logs and the per-board
+// TickBoard calls may run concurrently (one worker per board at most).
+func (f *Fabric) BeginBoardTick() {
+	if f.par == nil {
+		panic("optical: BeginBoardTick without EnableParallel")
+	}
+	f.par.computing = true
+}
+
+// TickBoard advances one board's transmitters and active lasers one
+// cycle during the compute phase. Unlike the serial Tick it does not
+// drain due deliveries (the driver does that in its serial head) and
+// does not sample idle power (CommitBoardTick does, after replaying the
+// laser logs).
+func (f *Fabric) TickBoard(s int, now uint64) {
+	p := f.par
+	p.cur[s] = logTx
+	f.tickBoardTx(s, now)
+	p.cur[s] = logLaser
+	f.tickBoardLasers(s, now)
+	p.cur[s] = logDeact
+	f.flushDeact(s)
+}
+
+// CommitBoardTick exits the compute phase and replays every board's
+// deferred side effects in the serial Tick's order: tx sub-phases in
+// ascending board order, laser sub-phases in ascending board order, the
+// cycle's idle-power sample, then the deactivation refreshes.
+func (f *Fabric) CommitBoardTick(now uint64) {
+	p := f.par
+	p.computing = false
+	for s := range p.logs {
+		f.replayLog(&p.logs[s][logTx])
+	}
+	for s := range p.logs {
+		f.replayLog(&p.logs[s][logLaser])
+	}
+	if f.meterEnabled {
+		f.meter.AddCycleMW(f.idleLitMW, false)
+		f.meter.Observe(1)
+	}
+	for s := range p.logs {
+		f.replayLog(&p.logs[s][logDeact])
+	}
+}
+
+// replayLog applies one board sub-phase's deferred effects in record
+// order and resets the log for the next cycle (keeping its capacity).
+func (f *Fabric) replayLog(ops *[]fabOp) {
+	lg := *ops
+	for i := range lg {
+		op := &lg[i]
+		switch op.kind {
+		case opIdleDelta:
+			f.idleLitMW += op.mw
+		case opMeter:
+			f.meter.AddCycleMW(op.mw, op.busy)
+		case opDelivery:
+			f.pushDelivery(op.at, op.d, op.w, op.p)
+		case opWake:
+			f.wakes++
+		case opDrop:
+			f.dropHook(op.p, op.at)
+		case opObsEnqueue:
+			f.observer.LaserEnqueue(op.s, op.w, op.d, op.p, op.at)
+		case opObsTransmit:
+			f.observer.LaserTransmit(op.s, op.w, op.d, op.p, op.at)
+		case opObsLevel:
+			f.observer.LaserLevel(op.s, op.w, op.d, op.from, op.to, op.at)
+		}
+		lg[i] = fabOp{}
+	}
+	*ops = lg[:0]
+}
+
+// assertSerialPhase panics when a control-plane mutation is attempted
+// during a parallel compute phase. Reassignments, fault strikes and
+// level changes from the LS controllers are pinned to the serial phases
+// of the cycle (engine head and commit); reaching this check from a
+// worker is a scheduling bug, not a recoverable condition.
+func (f *Fabric) assertSerialPhase(op string) {
+	if p := f.par; p != nil && p.computing {
+		panic("optical: " + op + " during the parallel compute phase; control-plane mutations are pinned to the serial phases")
+	}
+}

@@ -98,7 +98,11 @@ func (t *Transmitter) tick(now uint64) {
 			// free the reassembly buffer.
 			laser.dropWin++
 			if t.f.dropHook != nil {
-				t.f.dropHook(p, now)
+				if dp := t.f.deferring(); dp != nil {
+					dp.deferOp(t.s, fabOp{kind: opDrop, p: p, at: now})
+				} else {
+					t.f.dropHook(p, now)
+				}
 			}
 			n := len(vc.entries)
 			for i := range vc.entries {
@@ -119,7 +123,11 @@ func (t *Transmitter) tick(now uint64) {
 		laser.queue = append(laser.queue, p)
 		t.f.activateLaser(laser, now)
 		if t.f.observer != nil {
-			t.f.observer.LaserEnqueue(t.s, t.w, dst, p, now)
+			if dp := t.f.deferring(); dp != nil {
+				dp.deferOp(t.s, fabOp{kind: opObsEnqueue, s: t.s, w: t.w, d: dst, p: p, at: now})
+			} else {
+				t.f.observer.LaserEnqueue(t.s, t.w, dst, p, now)
+			}
 		}
 		n := len(vc.entries)
 		vc.entries = vc.entries[:0]

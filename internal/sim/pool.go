@@ -1,0 +1,112 @@
+package sim
+
+import "sync"
+
+// Pool is a fixed crew of worker goroutines for board-sharded cycle
+// stepping. Run partitions an index range into contiguous shards and
+// executes them concurrently; the calling goroutine works one shard
+// itself, so a pool of W workers spawns W-1 goroutines. The goroutines
+// persist across Run calls (two barrier crossings per call, no per-call
+// goroutine churn), which keeps the dispatch cost small enough to pay
+// every simulated cycle.
+//
+// Determinism contract: Run says nothing about the order shards execute
+// in, only that every index in [0, n) is visited exactly once and that
+// all visits happen-before Run returns. Callers that need deterministic
+// output must make shards write disjoint state (plus per-shard outboxes
+// drained later in a canonical order), which is exactly how the core
+// compute/commit engine uses it.
+type Pool struct {
+	workers int
+	tasks   []chan poolTask
+	wg      sync.WaitGroup
+}
+
+type poolTask struct {
+	fn     func(int)
+	lo, hi int
+}
+
+// NewPool creates a pool of the given total width (including the calling
+// goroutine). Widths below 1 are treated as 1; a width-1 pool runs
+// everything inline and spawns nothing.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers, tasks: make([]chan poolTask, workers-1)}
+	for i := range p.tasks {
+		ch := make(chan poolTask, 1)
+		p.tasks[i] = ch
+		go p.work(ch)
+	}
+	return p
+}
+
+func (p *Pool) work(ch chan poolTask) {
+	for t := range ch {
+		for i := t.lo; i < t.hi; i++ {
+			t.fn(i)
+		}
+		p.wg.Done()
+	}
+}
+
+// Workers returns the pool's total width (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Run invokes fn(i) exactly once for every i in [0, n), splitting the
+// range into up to Workers contiguous shards. It blocks until every
+// shard has finished. A nil or width-1 pool (or n <= 1) runs inline on
+// the calling goroutine.
+func (p *Pool) Run(n int, fn func(i int)) {
+	w := 1
+	if p != nil {
+		w = p.workers
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Shard k gets n/w indices, the first n%w shards one extra. Helpers
+	// take the high shards; the caller works shard 0 itself.
+	q, r := n/w, n%w
+	p.wg.Add(w - 1)
+	hi := n
+	for k := w - 1; k >= 1; k-- {
+		sz := q
+		if k < r {
+			sz++
+		}
+		lo := hi - sz
+		p.tasks[k-1] <- poolTask{fn: fn, lo: lo, hi: hi}
+		hi = lo
+	}
+	for i := 0; i < hi; i++ {
+		fn(i)
+	}
+	p.wg.Wait()
+}
+
+// Close releases the pool's helper goroutines. A closed pool still
+// accepts Run calls but executes them inline. Close is idempotent.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	for _, ch := range p.tasks {
+		close(ch)
+	}
+	p.tasks = nil
+	p.workers = 1
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		for _, n := range []int{0, 1, 2, 3, 7, 8, 9, 32, 100} {
+			p := NewPool(workers)
+			visits := make([]int32, n)
+			p.Run(n, func(i int) { atomic.AddInt32(&visits[i], 1) })
+			for i, v := range visits {
+				if v != 1 {
+					t.Errorf("workers=%d n=%d: index %d visited %d times", workers, n, i, v)
+				}
+			}
+			p.Close()
+		}
+	}
+}
+
+func TestPoolReuseAcrossRuns(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var total int64
+	for round := 0; round < 100; round++ {
+		p.Run(17, func(i int) { atomic.AddInt64(&total, int64(i)) })
+	}
+	want := int64(100 * 17 * 16 / 2)
+	if total != want {
+		t.Fatalf("total = %d, want %d", total, want)
+	}
+}
+
+func TestPoolWorkersExceedIndices(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	visits := make([]int32, 3)
+	p.Run(3, func(i int) { atomic.AddInt32(&visits[i], 1) })
+	for i, v := range visits {
+		if v != 1 {
+			t.Errorf("index %d visited %d times", i, v)
+		}
+	}
+}
+
+func TestPoolNilAndClosed(t *testing.T) {
+	var nilPool *Pool
+	if got := nilPool.Workers(); got != 1 {
+		t.Errorf("nil pool Workers() = %d, want 1", got)
+	}
+	ran := 0
+	nilPool.Run(5, func(i int) { ran++ })
+	if ran != 5 {
+		t.Errorf("nil pool ran %d indices, want 5", ran)
+	}
+	nilPool.Close() // must not panic
+
+	p := NewPool(4)
+	p.Close()
+	p.Close() // idempotent
+	ran = 0
+	p.Run(5, func(i int) { ran++ })
+	if ran != 5 {
+		t.Errorf("closed pool ran %d indices, want 5", ran)
+	}
+}
+
+func TestPoolWidthClamped(t *testing.T) {
+	if got := NewPool(0).Workers(); got != 1 {
+		t.Errorf("NewPool(0).Workers() = %d, want 1", got)
+	}
+	if got := NewPool(-3).Workers(); got != 1 {
+		t.Errorf("NewPool(-3).Workers() = %d, want 1", got)
+	}
+}

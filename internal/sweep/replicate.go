@@ -3,6 +3,7 @@ package sweep
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"repro/internal/core"
@@ -56,7 +57,15 @@ type ReplicateRequest struct {
 	Mode    core.Mode
 	Loads   []float64
 	Seeds   []uint64
+	// Workers is the number of concurrent runs; 0 (or negative) means
+	// one per available CPU (runtime.GOMAXPROCS(0)). This is sweep-level
+	// parallelism — compose with Base.Workers (intra-run parallelism) so
+	// the product stays near the core count.
 	Workers int
+	// OnResult, when set, is called once per completed run, serialized
+	// under the sweep's lock (callbacks never run concurrently, but
+	// arrive in completion order, not (load, seed) order).
+	OnResult func(load float64, seed uint64, res *core.Result)
 }
 
 // Replicate runs every (load, seed) combination in parallel and returns
@@ -83,7 +92,10 @@ func Replicate(req ReplicateRequest) ([]*Replicated, error) {
 	}
 	workers := req.Workers
 	if workers <= 0 {
-		workers = 4
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
 	var (
 		wg   sync.WaitGroup
@@ -108,6 +120,9 @@ func Replicate(req ReplicateRequest) ([]*Replicated, error) {
 				}
 				if err == nil {
 					out[j.li].Runs[j.si] = res
+					if req.OnResult != nil {
+						req.OnResult(req.Loads[j.li], req.Seeds[j.si], res)
+					}
 				}
 				mu.Unlock()
 			}

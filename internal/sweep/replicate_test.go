@@ -62,6 +62,99 @@ func TestReplicateValidation(t *testing.T) {
 	}
 }
 
+// TestReplicateDefaultWorkers runs with Workers=0 (one worker per CPU)
+// and Workers far above the job count (clamped): both must complete
+// every run and agree with an explicit serial sweep.
+func TestReplicateDefaultWorkers(t *testing.T) {
+	req := ReplicateRequest{
+		Base:    fastBase(),
+		Pattern: traffic.Uniform,
+		Mode:    core.NPNB,
+		Loads:   []float64{0.2, 0.4},
+		Seeds:   []uint64{1, 2},
+	}
+	serial := req
+	serial.Workers = 1
+	want, err := Replicate(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 64} {
+		req.Workers = workers
+		got, err := Replicate(req)
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", workers, err)
+		}
+		for li := range want {
+			for si := range want[li].Runs {
+				w, g := want[li].Runs[si], got[li].Runs[si]
+				if g == nil {
+					t.Fatalf("Workers=%d: load %v seed %d missing", workers, want[li].Load, req.Seeds[si])
+				}
+				if w.Throughput != g.Throughput || w.AvgLatency != g.AvgLatency {
+					t.Errorf("Workers=%d: load %v seed %d diverges from serial sweep", workers, want[li].Load, req.Seeds[si])
+				}
+			}
+		}
+	}
+}
+
+// TestReplicateOnResult checks the streaming callback: one invocation
+// per run, never concurrent (the shared counter below would trip -race
+// otherwise), and Runs stays in (load, seed) order regardless of the
+// completion order the callbacks observe.
+func TestReplicateOnResult(t *testing.T) {
+	loads := []float64{0.2, 0.3, 0.4}
+	seeds := []uint64{1, 2, 3}
+	type call struct {
+		load float64
+		seed uint64
+		res  *core.Result
+	}
+	var calls []call
+	reps, err := Replicate(ReplicateRequest{
+		Base:    fastBase(),
+		Pattern: traffic.Uniform,
+		Mode:    core.NPNB,
+		Loads:   loads,
+		Seeds:   seeds,
+		Workers: 4,
+		OnResult: func(load float64, seed uint64, res *core.Result) {
+			calls = append(calls, call{load, seed, res})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != len(loads)*len(seeds) {
+		t.Fatalf("OnResult called %d times, want %d", len(calls), len(loads)*len(seeds))
+	}
+	// Every callback's pointer must be the one filed at its (load, seed)
+	// slot — completion order may differ, placement may not.
+	index := map[float64]int{}
+	for li, l := range loads {
+		index[l] = li
+	}
+	for _, c := range calls {
+		li, ok := index[c.load]
+		if !ok {
+			t.Fatalf("OnResult for unknown load %v", c.load)
+		}
+		si := -1
+		for i, s := range seeds {
+			if s == c.seed {
+				si = i
+			}
+		}
+		if si < 0 {
+			t.Fatalf("OnResult for unknown seed %d", c.seed)
+		}
+		if reps[li].Runs[si] != c.res {
+			t.Errorf("load %v seed %d: callback result is not the filed run", c.load, c.seed)
+		}
+	}
+}
+
 func TestReplicateSingleSeedHasZeroCI(t *testing.T) {
 	reps, err := Replicate(ReplicateRequest{
 		Base:    fastBase(),

@@ -1,29 +1,46 @@
 #!/usr/bin/env bash
-# bench.sh — run the simulator speed benchmarks and record the results
-# as a machine-readable JSON file (default BENCH_1.json in the repo
-# root).
+# bench.sh — run the simulator speed benchmarks, record the results as a
+# machine-readable JSON file (default BENCH_2.json in the repo root),
+# and gate them against a checked-in baseline.
 #
 # Usage:
 #   scripts/bench.sh [output.json]
 #   BENCHTIME=10s scripts/bench.sh        # longer, steadier runs
+#   BASELINE=none scripts/bench.sh        # record only, no regression gate
+#   SKIP_LARGE=1 scripts/bench.sh         # skip the 32x16/64x8 configs
 #
 # The file records cycles/s, ns/op, B/op and allocs/op for each
-# BenchmarkSimSpeed* case, plus the pre-optimization baseline of the
-# headline case (64-node P-B, uniform, load 0.5) and the resulting
-# speedup factors. See the Performance sections of README.md and
-# DESIGN.md for what the numbers mean.
+# BenchmarkSimSpeed* case (including the large-config parallel matrix),
+# plus the pre-optimization baseline of the headline case (64-node P-B,
+# uniform, load 0.5) and the resulting speedup factors. See the
+# Performance sections of README.md and DESIGN.md for what the numbers
+# mean.
+#
+# Gates (after recording):
+#   - against $BASELINE (default BENCH_1.json): any benchmark present in
+#     both files may not lose more than 10% cycles/s;
+#   - on machines with >= 8 CPUs: SimSpeedLarge/32x16-w8 must be at
+#     least 2x SimSpeedLarge/32x16-w1 (the intra-run parallelism
+#     criterion; meaningless and skipped on smaller machines).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-3s}"
-OUT="${1:-BENCH_1.json}"
+OUT="${1:-BENCH_2.json}"
+BASELINE="${BASELINE:-BENCH_1.json}"
 
-RAW="$(go test -run '^$' -bench 'BenchmarkSimSpeed' -benchtime "$BENCHTIME" .)"
+BENCH_RE='BenchmarkSimSpeed'
+if [ "${SKIP_LARGE:-0}" = "1" ]; then
+    BENCH_RE='BenchmarkSimSpeed($|HighLoad|Complement|Idle)'
+fi
+
+RAW="$(go test -run '^$' -bench "$BENCH_RE" -benchtime "$BENCHTIME" .)"
 printf '%s\n' "$RAW"
 
 printf '%s\n' "$RAW" | awk \
     -v go_version="$(go version | awk '{print $3}')" \
-    -v benchtime="$BENCHTIME" '
+    -v benchtime="$BENCHTIME" \
+    -v cpus="$(nproc)" '
 /^BenchmarkSimSpeed/ {
     name = $1
     sub(/^Benchmark/, "", name)
@@ -47,6 +64,7 @@ END {
     printf "{\n"
     printf "  \"go\": \"%s\",\n", go_version
     printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"cpus\": %d,\n", cpus
     printf "  \"baseline\": {\n"
     printf "    \"name\": \"SimSpeed/P-B (pre-optimization seed)\",\n"
     printf "    \"ns_per_op\": %g, \"cycles_per_sec\": %g, \"bytes_per_op\": %g, \"allocs_per_op\": %g\n", base_ns, base_cycles, base_bytes, base_allocs
@@ -72,3 +90,66 @@ END {
 }' > "$OUT"
 
 echo "wrote $OUT" >&2
+
+if [ "$BASELINE" = "none" ]; then
+    echo "bench.sh: BASELINE=none, skipping regression gate" >&2
+    exit 0
+fi
+if [ ! -f "$BASELINE" ]; then
+    echo "bench.sh: baseline $BASELINE not found, skipping regression gate" >&2
+    exit 0
+fi
+
+python3 - "$OUT" "$BASELINE" <<'EOF'
+import json, os, sys
+
+out_path, base_path = sys.argv[1], sys.argv[2]
+cur = json.load(open(out_path))
+base = json.load(open(base_path))
+
+def by_name(doc):
+    return {b["name"]: b for b in doc.get("benchmarks", [])
+            if b.get("cycles_per_sec") is not None}
+
+cur_b, base_b = by_name(cur), by_name(base)
+
+# The idle floor is sub-microsecond per cycle: scheduler jitter alone
+# moves it +/-20% run to run, so it is reported but not gated.
+UNGATED = {"SimSpeedIdle"}
+
+failures = []
+for name, old in sorted(base_b.items()):
+    new = cur_b.get(name)
+    if new is None:
+        continue
+    ratio = new["cycles_per_sec"] / old["cycles_per_sec"]
+    if name in UNGATED:
+        print(f"  info {name}: {old['cycles_per_sec']:.0f} -> "
+              f"{new['cycles_per_sec']:.0f} cycles/s ({ratio:.2f}x, ungated)")
+        continue
+    mark = "FAIL" if ratio < 0.90 else "ok"
+    print(f"  {mark:4s} {name}: {old['cycles_per_sec']:.0f} -> "
+          f"{new['cycles_per_sec']:.0f} cycles/s ({ratio:.2f}x)")
+    if ratio < 0.90:
+        failures.append(name)
+if failures:
+    print(f"bench.sh: {len(failures)} benchmark(s) regressed >10% vs "
+          f"{base_path}: {', '.join(failures)}", file=sys.stderr)
+    sys.exit(1)
+
+# Intra-run parallelism criterion: only meaningful with real cores to
+# spread the boards over.
+cpus = os.cpu_count() or 1
+w1 = cur_b.get("SimSpeedLarge/32x16-w1")
+w8 = cur_b.get("SimSpeedLarge/32x16-w8")
+if cpus >= 8 and w1 and w8:
+    speedup = w8["cycles_per_sec"] / w1["cycles_per_sec"]
+    print(f"  32x16 parallel speedup (w8/w1): {speedup:.2f}x")
+    if speedup < 2.0:
+        print(f"bench.sh: 32x16 -workers 8 speedup {speedup:.2f}x < 2x",
+              file=sys.stderr)
+        sys.exit(1)
+elif w1 and w8:
+    print(f"  32x16 parallel speedup check skipped ({cpus} CPU(s) < 8)")
+print("bench.sh: regression gate passed")
+EOF
