@@ -1,0 +1,89 @@
+// Command erapid-serve runs the simulator as a long-lived HTTP job
+// service: submit configurations, stream their live telemetry, and
+// fetch deterministic results — identical configs are answered from a
+// content-addressed cache without re-simulating.
+//
+//	erapid-serve -addr 127.0.0.1:8080
+//
+//	curl -s localhost:8080/v1/runs -d '{"mode":"P-B","load":0.7}'
+//	curl -s localhost:8080/v1/jobs/j000001
+//	curl -sN localhost:8080/v1/jobs/j000001/events
+//	curl -s -X DELETE localhost:8080/v1/jobs/j000001
+//
+// SIGINT/SIGTERM drain gracefully: intake stops (503), queued jobs are
+// cancelled, running jobs finish (or are cancelled at their next
+// reconfiguration-window boundary when -drain expires).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers  = flag.Int("workers", 0, "concurrently running jobs (0 = GOMAXPROCS)")
+		queueCap = flag.Int("queue", 64, "jobs queued beyond the running ones before submissions get 503")
+		timeout  = flag.Duration("job-timeout", 0, "per-job wall-clock limit (0 = none)")
+		cacheCap = flag.Int("cache", 256, "content-addressed result cache entries (-1 disables)")
+		drainFor = flag.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM before running jobs are force-cancelled")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Options{
+		Workers:    *workers,
+		QueueCap:   *queueCap,
+		JobTimeout: *timeout,
+		CacheCap:   *cacheCap,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("erapid-serve listening on http://%s (%d workers)\n", ln.Addr(), srv.Workers())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	case <-ctx.Done():
+	}
+	stop()
+
+	// Drain the job queue first so in-flight event streams complete,
+	// then shut the HTTP listener down.
+	fmt.Fprintln(os.Stderr, "erapid-serve: draining (running jobs finish, queued jobs cancel)")
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainFor)
+	defer cancelDrain()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "erapid-serve: drain budget expired; running jobs were force-cancelled")
+	}
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := httpSrv.Shutdown(httpCtx); err != nil {
+		_ = httpSrv.Close()
+	}
+	fmt.Fprintln(os.Stderr, "erapid-serve: stopped")
+}

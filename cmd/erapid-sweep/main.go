@@ -9,11 +9,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	erapid "repro"
@@ -86,6 +90,11 @@ func main() {
 		base.DrainLimitCycles = 60000
 	}
 
+	// Ctrl-C / SIGTERM cancels in-flight simulations at their next
+	// reconfiguration-window boundary instead of killing them mid-cycle.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSignals()
+
 	total := len(pats) * len(ms) * len(ls)
 	// done is a telemetry counter: sweep workers finish points
 	// concurrently, and the progress/ETA line is derived from it.
@@ -93,7 +102,7 @@ func main() {
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "running %d simulations (%d patterns x %d modes x %d loads)...\n",
 		total, len(pats), len(ms), len(ls))
-	series := erapid.Sweep(sweep.Request{
+	series, sweepErr := erapid.SweepContext(ctx, sweep.Request{
 		Base:     base,
 		Patterns: pats,
 		Modes:    ms,
@@ -111,9 +120,11 @@ func main() {
 				elapsed.Round(time.Second), eta.Round(time.Second))
 		},
 	})
-	if errs := erapid.SweepErrs(series); len(errs) > 0 {
-		for _, e := range errs {
-			fmt.Fprintln(os.Stderr, "error:", e)
+	if sweepErr != nil {
+		if errors.Is(sweepErr, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "sweep cancelled by signal")
+		} else {
+			fmt.Fprintln(os.Stderr, "error:", sweepErr)
 		}
 		os.Exit(1)
 	}

@@ -12,9 +12,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	erapid "repro"
 	"repro/internal/core"
@@ -149,7 +153,20 @@ func main() {
 		tel = sys.EnableTelemetry(tcfg)
 	}
 
-	res := sys.Run()
+	// Ctrl-C / SIGTERM cancels the run at its next reconfiguration-window
+	// boundary; the partial metrics of the completed prefix still print.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	res, runErr := sys.RunContext(ctx)
+	stopSignals()
+	if runErr != nil {
+		var cancelled *core.CancelledError
+		if errors.As(runErr, &cancelled) {
+			fmt.Fprintf(os.Stderr, "cancelled by signal after %d windows; metrics cover the completed prefix\n", cancelled.Window)
+		} else {
+			fmt.Fprintln(os.Stderr, runErr)
+			os.Exit(1)
+		}
+	}
 	printResult(res, cfg)
 	if stageRec != nil {
 		fmt.Println("\nLock-Step protocol trace (cycle, board, stage):")

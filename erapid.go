@@ -22,11 +22,27 @@
 //	fmt.Println(res.Throughput, res.AvgLatency, res.PowerDynamicMW)
 //
 // Full figure sweeps (throughput / latency / power across loads, modes
-// and traffic patterns, run in parallel) are available through Sweep;
-// see the examples directory and cmd/erapid-sweep.
+// and traffic patterns, run in parallel) are available through
+// SweepContext; see the examples directory and cmd/erapid-sweep.
+//
+// # Cancellation
+//
+// RunContext and SweepContext accept a context whose cancellation is
+// checked once per reconfiguration window (R_w): a cancelled run
+// returns within one window with the metrics of its completed prefix
+// and a *CancelledError. Long-running servers (see cmd/erapid-serve)
+// build on this for job cancellation and timeouts.
+//
+// # Config schema
+//
+// Config serializes to a versioned canonical JSON schema (see
+// SchemaVersion, ParseConfig, Config.CanonicalJSON and Config.Digest);
+// Validate reports structured per-field errors (ValidationError).
 package erapid
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/sweep"
@@ -63,8 +79,33 @@ const (
 )
 
 // Config describes one simulation run. Obtain a baseline with
-// DefaultConfig and override fields.
+// DefaultConfig and override fields, or decode a JSON document with
+// ParseConfig. Config serializes to a versioned canonical schema:
+// Validate reports structured per-field errors, CanonicalJSON returns
+// the canonical encoding, and Digest content-addresses the simulation
+// it describes.
 type Config = core.Config
+
+// SchemaVersion is the current version of the canonical Config JSON
+// schema ("schema_version" in encoded documents). Decoders accept
+// documents without the tag (the pre-versioning form) and reject
+// versions they do not know.
+const SchemaVersion = core.SchemaVersion
+
+// FieldError locates one invalid Config field (structured validation).
+type FieldError = core.FieldError
+
+// ValidationError aggregates every invalid field of a Config; it is
+// the error type of Config.Validate and ParseConfig.
+type ValidationError = core.ValidationError
+
+// CancelledError reports a run stopped early by its context, alongside
+// the partial Result of the completed windows.
+type CancelledError = core.CancelledError
+
+// ParseConfig decodes a JSON config document as an overlay over the
+// paper's P-B defaults and validates it.
+func ParseConfig(data []byte) (Config, error) { return core.ParseConfig(data) }
 
 // Result carries the metrics of one run.
 type Result = core.Result
@@ -83,8 +124,17 @@ func ParseMode(s string) (Mode, error) { return core.ParseMode(s) }
 func DefaultConfig(mode Mode) Config { return core.DefaultConfig(mode) }
 
 // Run simulates one configuration through warm-up, measurement and
-// drain, returning the collected metrics.
+// drain, returning the collected metrics. It is RunContext without
+// cancellation.
 func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// RunContext is Run with cooperative cancellation: the context is
+// checked once per reconfiguration window, so a cancelled run returns
+// within one R_w window with a partial Result (the completed prefix,
+// bit-identical to the uncancelled run's) and a *CancelledError.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	return core.RunContext(ctx, cfg)
+}
 
 // NewSystem assembles a network without running it, for custom drivers
 // (see examples/designspace).
@@ -107,12 +157,28 @@ type SweepPoint = sweep.Point
 
 // Sweep runs the batch in parallel and returns one series per
 // (pattern, mode) pair.
+//
+// Deprecated: use SweepContext, which supports cancellation and
+// returns the sweep's errors directly instead of requiring a separate
+// SweepErrs pass.
 func Sweep(req SweepRequest) []SweepSeries { return sweep.Run(req) }
+
+// SweepContext runs the batch in parallel and returns one series per
+// (pattern, mode) pair plus the joined errors of every failed point
+// (nil when all points succeeded). Cancelling the context stops
+// dispatching new points and cancels in-flight runs at their next
+// window boundary.
+func SweepContext(ctx context.Context, req SweepRequest) ([]SweepSeries, error) {
+	return sweep.RunContext(ctx, req)
+}
 
 // PaperLoads returns the paper's load axis: 0.1 … 0.9 of capacity.
 func PaperLoads() []float64 { return sweep.PaperLoads() }
 
 // SweepErrs collects errors across a sweep's points.
+//
+// Deprecated: SweepContext already returns these errors joined;
+// SweepErrs remains for callers of the deprecated Sweep.
 func SweepErrs(series []SweepSeries) []error { return sweep.Errs(series) }
 
 // WindowSample is one reconfiguration window of system activity, for

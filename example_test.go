@@ -1,6 +1,7 @@
 package erapid_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,21 +29,22 @@ func Example() {
 	// delivered packets: true
 }
 
-// ExampleSweep produces one figure curve: P-B throughput across loads.
-func ExampleSweep() {
+// ExampleSweepContext produces one figure curve: P-B throughput across
+// loads.
+func ExampleSweepContext() {
 	base := erapid.DefaultConfig(erapid.PB)
 	base.Boards, base.NodesPerBoard = 4, 4
 	base.WarmupCycles = 2000
 	base.MeasureCycles = 2000
 	base.DrainLimitCycles = 40000
-	series := erapid.Sweep(erapid.SweepRequest{
+	series, err := erapid.SweepContext(context.Background(), erapid.SweepRequest{
 		Base:     base,
 		Patterns: []string{erapid.Uniform},
 		Modes:    []erapid.Mode{erapid.PB},
 		Loads:    []float64{0.2, 0.4},
 	})
-	if errs := erapid.SweepErrs(series); len(errs) > 0 {
-		log.Fatal(errs)
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Println("series:", len(series))
 	fmt.Println("points:", len(series[0].Points))

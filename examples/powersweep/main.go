@@ -4,26 +4,33 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os/signal"
+	"syscall"
 
 	erapid "repro"
 )
 
 func main() {
+	// Ctrl-C cancels the in-flight runs at their next window boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	base := erapid.DefaultConfig(erapid.NPNB)
 	base.WarmupCycles = 12000
 	base.MeasureCycles = 8000
 	base.DrainLimitCycles = 80000
 
-	series := erapid.Sweep(erapid.SweepRequest{
+	series, err := erapid.SweepContext(ctx, erapid.SweepRequest{
 		Base:     base,
 		Patterns: []string{erapid.Uniform},
 		Modes:    []erapid.Mode{erapid.NPNB, erapid.PNB, erapid.PB},
 		Loads:    []float64{0.1, 0.3, 0.5, 0.7, 0.9},
 	})
-	if errs := erapid.SweepErrs(series); len(errs) > 0 {
-		log.Fatal(errs)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	byMode := map[erapid.Mode]erapid.SweepSeries{}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// telemetrySnapshot captures every per-window series of a run for
+// prefix comparison.
+func telemetrySnapshot(reg *telemetry.Registry) map[string][]float64 {
+	out := make(map[string][]float64)
+	for _, name := range reg.SeriesNames() {
+		out[name] = reg.Lookup(name).Values()
+	}
+	return out
+}
+
+// TestCancellationDeterministicPrefix: cancelling a run at window k
+// must report per-window telemetry identical to the first k windows of
+// the uncancelled run, in every mode. Cancellation may only take
+// effect at window boundaries, so the completed prefix is bit-exact —
+// this is what makes partial results from the service trustworthy.
+func TestCancellationDeterministicPrefix(t *testing.T) {
+	for _, mode := range Modes() {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := fastConfig(mode)
+
+			// Reference: the full, uncancelled run.
+			full, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fullTel := full.EnableTelemetry(TelemetryConfig{EventCap: -1})
+			if _, err := full.RunContext(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			want := telemetrySnapshot(fullTel.Registry())
+
+			// Cancelled run: trigger in simulated time (the first event at
+			// or after cancelCycle), so the trigger window is deterministic
+			// regardless of wall-clock scheduling.
+			const cancelCycle = 2*500 + 10
+			sys, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tel := sys.EnableTelemetry(TelemetryConfig{EventCap: -1})
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var triggered uint64
+			sys.AttachSink(telemetry.SinkFunc(func(ev telemetry.Event) {
+				if triggered == 0 && ev.Cycle >= cancelCycle {
+					triggered = ev.Cycle
+					cancel()
+				}
+			}))
+			res, runErr := sys.RunContext(ctx)
+			if res == nil {
+				t.Fatal("cancelled run returned no partial result")
+			}
+			var cErr *CancelledError
+			if !errors.As(runErr, &cErr) {
+				t.Fatalf("RunContext error = %v, want *CancelledError", runErr)
+			}
+			if !errors.Is(runErr, context.Canceled) {
+				t.Errorf("cancelled error does not unwrap to context.Canceled: %v", runErr)
+			}
+			if cErr.Window == 0 || cErr.Cycle != cErr.Window*cfg.Window {
+				t.Errorf("inconsistent cancellation point: window %d, cycle %d (R_w %d)",
+					cErr.Window, cErr.Cycle, cfg.Window)
+			}
+			// Promptness: the run must stop at the first boundary after the
+			// trigger, i.e. within one reconfiguration window.
+			if cErr.Cycle-triggered > cfg.Window {
+				t.Errorf("cancellation took %d cycles (trigger %d, stop %d), want <= one window (%d)",
+					cErr.Cycle-triggered, triggered, cErr.Cycle, cfg.Window)
+			}
+			if res.Cycles != cErr.Cycle-1 {
+				t.Errorf("partial result covers %d cycles, cancellation reports stop at %d", res.Cycles, cErr.Cycle)
+			}
+
+			// The telemetry prefix must match the full run exactly.
+			got := telemetrySnapshot(tel.Registry())
+			k := int(cErr.Window)
+			for name, gv := range got {
+				wv, ok := want[name]
+				if !ok {
+					t.Fatalf("series %q missing from full run", name)
+				}
+				if len(gv) != k {
+					t.Fatalf("series %q has %d samples, want %d (completed windows)", name, len(gv), k)
+				}
+				if len(wv) < k {
+					t.Fatalf("full run retained only %d samples of %q, need %d", len(wv), name, k)
+				}
+				for i := range gv {
+					if gv[i] != wv[i] {
+						t.Errorf("series %q window %d: cancelled run %v, full run %v", name, i, gv[i], wv[i])
+					}
+				}
+			}
+			// Window marks of the prefix must align too.
+			gm, wm := tel.Registry().Windows(), fullTel.Registry().Windows()
+			if len(gm) != k {
+				t.Fatalf("cancelled run has %d window marks, want %d", len(gm), k)
+			}
+			for i := range gm {
+				if gm[i] != wm[i] {
+					t.Errorf("window mark %d: cancelled %+v, full %+v", i, gm[i], wm[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRunContextPreCancelled: an already-cancelled context stops the
+// run at its first window boundary with a partial result.
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, fastConfig(PB))
+	var cErr *CancelledError
+	if !errors.As(err, &cErr) {
+		t.Fatalf("error = %v, want *CancelledError", err)
+	}
+	if cErr.Window != 1 {
+		t.Errorf("pre-cancelled run completed %d windows, want exactly 1", cErr.Window)
+	}
+	if res == nil {
+		t.Fatal("no partial result")
+	}
+}
+
+// TestRunContextBackgroundMatchesRun: RunContext with a background
+// context is byte-for-byte the old Run.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	cfg := fastConfig(PB)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("Run and RunContext disagree:\n%+v\n%+v", a, b)
+	}
+}

@@ -120,49 +120,80 @@ func DefaultConfig(mode Mode) Config {
 	}
 }
 
-// Validate checks the configuration and returns the topology.
-func (c Config) Validate() (*topology.Topology, error) {
+// Validate checks every field of the configuration and returns nil or
+// a ValidationError listing all invalid fields (not just the first).
+func (c Config) Validate() error {
+	var errs ValidationError
+	add := func(field, format string, args ...any) {
+		errs = append(errs, FieldError{Field: field, Msg: fmt.Sprintf(format, args...)})
+	}
+
 	top, err := topology.New(c.Clusters, c.Boards, c.NodesPerBoard)
 	if err != nil {
-		return nil, err
+		add("Topology", "%v", err)
 	}
 	if c.Clusters != 1 {
-		return nil, fmt.Errorf("core: the simulator assembles one cluster (C=1) as in the paper's evaluation; got C=%d", c.Clusters)
+		add("Clusters", "the simulator assembles one cluster (C=1) as in the paper's evaluation; got C=%d", c.Clusters)
 	}
-	switch {
-	case c.VCs < 1 || c.BufDepth < 1 || c.FlitCyclesElec < 1 || c.EjectDepth < 1:
-		return nil, fmt.Errorf("core: invalid electrical parameters (VCs=%d BufDepth=%d FlitCycles=%d EjectDepth=%d)",
+	if c.VCs < 1 || c.BufDepth < 1 || c.FlitCyclesElec < 1 || c.EjectDepth < 1 {
+		add("VCs", "invalid electrical parameters (VCs=%d BufDepth=%d FlitCycles=%d EjectDepth=%d)",
 			c.VCs, c.BufDepth, c.FlitCyclesElec, c.EjectDepth)
-	case c.PacketBytes < 1 || c.FlitBytes < 1:
-		return nil, fmt.Errorf("core: invalid packet format (%dB packets, %dB flits)", c.PacketBytes, c.FlitBytes)
-	case c.CycleNS <= 0 || c.LaserQueueCap < 1:
-		return nil, fmt.Errorf("core: invalid optical parameters")
-	case c.Window < 1:
-		return nil, fmt.Errorf("core: window must be >= 1")
-	case c.Load < 0 || (c.Load == 0 && c.InjectionRate == 0):
-		return nil, fmt.Errorf("core: need Load > 0 or explicit InjectionRate")
-	case c.MeasureCycles < 1:
-		return nil, fmt.Errorf("core: MeasureCycles must be >= 1")
-	case c.MaxHold < 0:
-		return nil, fmt.Errorf("core: MaxHold must be >= 0 (0 = unlimited)")
-	case c.PowerLevels == 1 || c.PowerLevels < 0:
-		return nil, fmt.Errorf("core: PowerLevels must be 0 (default), or >= 2; got %d", c.PowerLevels)
-	case c.BurstLength < 0 || (c.BurstLength > 0 && c.BurstLength < 1):
-		return nil, fmt.Errorf("core: BurstLength must be 0 (Bernoulli) or >= 1 cycle")
-	case c.BurstDuty < 0 || c.BurstDuty > 1:
-		return nil, fmt.Errorf("core: BurstDuty must be in [0,1]")
-	case c.Workers < 0:
-		return nil, fmt.Errorf("core: Workers must be >= 0 (0 or 1 = serial); got %d", c.Workers)
 	}
-	if _, err := traffic.New(c.Pattern, top.TotalNodes()); err != nil {
-		return nil, err
+	if c.PacketBytes < 1 || c.FlitBytes < 1 {
+		add("PacketBytes", "invalid packet format (%dB packets, %dB flits)", c.PacketBytes, c.FlitBytes)
+	}
+	if c.CycleNS <= 0 || c.LaserQueueCap < 1 {
+		add("CycleNS", "invalid optical parameters (CycleNS=%v LaserQueueCap=%d)", c.CycleNS, c.LaserQueueCap)
+	}
+	if c.Window < 1 {
+		add("Window", "window must be >= 1")
+	}
+	if c.Load < 0 || (c.Load == 0 && c.InjectionRate == 0) {
+		add("Load", "need Load > 0 or explicit InjectionRate")
+	}
+	if c.InjectionRate < 0 {
+		add("InjectionRate", "InjectionRate must be >= 0")
+	}
+	if c.MeasureCycles < 1 {
+		add("MeasureCycles", "MeasureCycles must be >= 1")
+	}
+	if c.MaxHold < 0 {
+		add("MaxHold", "MaxHold must be >= 0 (0 = unlimited)")
+	}
+	if c.PowerLevels == 1 || c.PowerLevels < 0 {
+		add("PowerLevels", "PowerLevels must be 0 (default), or >= 2; got %d", c.PowerLevels)
+	}
+	if c.BurstLength < 0 || (c.BurstLength > 0 && c.BurstLength < 1) {
+		add("BurstLength", "BurstLength must be 0 (Bernoulli) or >= 1 cycle")
+	}
+	if c.BurstDuty < 0 || c.BurstDuty > 1 {
+		add("BurstDuty", "BurstDuty must be in [0,1]")
+	}
+	if c.Workers < 0 {
+		add("Workers", "Workers must be >= 0 (0 or 1 = serial); got %d", c.Workers)
+	}
+	if top != nil {
+		if _, err := traffic.New(c.Pattern, top.TotalNodes()); err != nil {
+			add("Pattern", "%v", err)
+		}
 	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(); err != nil {
-			return nil, err
+			add("Faults", "%v", err)
 		}
 	}
-	return top, nil
+	if len(errs) > 0 {
+		return errs
+	}
+	return nil
+}
+
+// topology validates the configuration and returns its topology.
+func (c Config) topology() (*topology.Topology, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return topology.New(c.Clusters, c.Boards, c.NodesPerBoard)
 }
 
 // FlitsPerPacket returns the packet length in flits.

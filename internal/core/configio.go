@@ -1,32 +1,38 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 )
 
-// configJSON is the serialized form of Config. Mode is stored as its
-// paper label ("P-B") for readability.
-type configJSON struct {
-	Config
-	ModeLabel string `json:"Mode"`
-}
+// SchemaVersion is the current version of the canonical Config JSON
+// schema. Encoded documents carry it as "schema_version"; the decoder
+// accepts documents without one (the pre-versioning form, identical to
+// version 1) and rejects versions newer than it knows, so a saved or
+// submitted config can never be silently misread by an older binary.
+const SchemaVersion = 1
 
-// MarshalJSON implements json.Marshaler with a readable mode label.
+// MarshalJSON implements json.Marshaler: the canonical schema with a
+// schema_version tag and the Mode stored as its paper label ("P-B").
 func (c Config) MarshalJSON() ([]byte, error) {
 	type bare Config // avoid recursion
 	return json.Marshal(struct {
+		SchemaVersion int `json:"schema_version"`
 		bare
 		Mode string
-	}{bare(c), c.Mode.String()})
+	}{SchemaVersion, bare(c), c.Mode.String()})
 }
 
 // UnmarshalJSON implements json.Unmarshaler, accepting both the numeric
-// form and the paper label.
+// mode form and the paper label, and documents with or without a
+// schema_version tag.
 func (c *Config) UnmarshalJSON(data []byte) error {
 	type bare Config
 	var aux struct {
+		SchemaVersion *int `json:"schema_version"`
 		bare
 		Mode json.RawMessage
 	}
@@ -35,6 +41,11 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 	aux.bare = bare(*c)
 	if err := json.Unmarshal(data, &aux); err != nil {
 		return err
+	}
+	if aux.SchemaVersion != nil {
+		if v := *aux.SchemaVersion; v < 1 || v > SchemaVersion {
+			return fmt.Errorf("core: config schema_version %d not supported (this build reads versions 1..%d)", v, SchemaVersion)
+		}
 	}
 	*c = Config(aux.bare)
 	if len(aux.Mode) == 0 {
@@ -58,6 +69,57 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 	}
 	c.Mode = Mode(num)
 	return nil
+}
+
+// normalized returns a copy with the encoding-irrelevant degrees of
+// freedom collapsed: an empty fault spec behaves bit-identically to a
+// nil one, so the canonical form drops it.
+func (c Config) normalized() Config {
+	if c.Faults != nil && c.Faults.Empty() {
+		c.Faults = nil
+	}
+	return c
+}
+
+// CanonicalJSON returns the configuration in its canonical serialized
+// form: the versioned schema, compact, fields in declaration order,
+// equivalent optional states collapsed. Two configurations describing
+// the same simulation encode to the same bytes.
+func (c Config) CanonicalJSON() ([]byte, error) {
+	return json.Marshal(c.normalized())
+}
+
+// Digest returns a stable content address for the simulation this
+// configuration describes: the hex SHA-256 of the canonical JSON with
+// execution-only fields (Workers — any worker count is bit-identical)
+// zeroed. Two configs with equal digests produce byte-identical
+// Results; the service layer uses this as its result-cache key.
+func (c Config) Digest() string {
+	n := c.normalized()
+	n.Workers = 0
+	data, err := json.Marshal(n)
+	if err != nil {
+		// Config marshaling is total over the struct's field types; an
+		// error here means the type itself changed incompatibly.
+		panic(fmt.Sprintf("core: config digest: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// ParseConfig decodes a JSON config document as an overlay over the
+// paper's P-B defaults (missing fields keep their DefaultConfig
+// values) and validates it. The returned error is a ValidationError
+// when the document decodes but describes an invalid simulation.
+func ParseConfig(data []byte) (Config, error) {
+	cfg := DefaultConfig(PB)
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return cfg, fmt.Errorf("core: parsing config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
 }
 
 // LoadConfig reads a Config from a JSON file. Missing fields keep the

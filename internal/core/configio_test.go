@@ -2,10 +2,13 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/fault"
 )
 
 func TestConfigJSONRoundTrip(t *testing.T) {
@@ -83,5 +86,114 @@ func TestSaveAndLoadConfig(t *testing.T) {
 func TestLoadConfigMissingFile(t *testing.T) {
 	if _, err := LoadConfig("/nonexistent/cfg.json", DefaultConfig(NPNB)); err == nil {
 		t.Fatal("missing file did not error")
+	}
+}
+
+func TestConfigSchemaVersion(t *testing.T) {
+	data, err := json.Marshal(DefaultConfig(PB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"schema_version":1`) {
+		t.Fatalf("encoded config carries no schema_version tag: %s", data)
+	}
+	// Documents without a tag (the pre-versioning form) and with the
+	// current version both decode; future versions are rejected.
+	for _, doc := range []string{`{"Load":0.5}`, `{"schema_version":1,"Load":0.5}`} {
+		if _, err := ParseConfig([]byte(doc)); err != nil {
+			t.Errorf("ParseConfig(%s) = %v, want nil", doc, err)
+		}
+	}
+	for _, doc := range []string{`{"schema_version":2}`, `{"schema_version":0}`, `{"schema_version":-3}`} {
+		if _, err := ParseConfig([]byte(doc)); err == nil {
+			t.Errorf("ParseConfig(%s) accepted an unsupported schema version", doc)
+		}
+	}
+}
+
+func TestConfigCanonicalJSONStable(t *testing.T) {
+	cfg := DefaultConfig(PB)
+	a, err := cfg.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canonical form round-trips to itself.
+	back, err := ParseConfig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("canonical JSON not a fixed point:\n%s\n%s", a, b)
+	}
+	// An empty fault spec and a nil one canonicalize identically.
+	withEmpty := cfg
+	withEmpty.Faults = &fault.Spec{}
+	c, err := withEmpty.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(c) {
+		t.Fatalf("empty fault spec changed the canonical form:\n%s\n%s", a, c)
+	}
+}
+
+func TestConfigDigest(t *testing.T) {
+	cfg := DefaultConfig(PB)
+	d := cfg.Digest()
+	if len(d) != 64 {
+		t.Fatalf("digest %q is not hex SHA-256", d)
+	}
+	if cfg.Digest() != d {
+		t.Fatal("digest not stable across calls")
+	}
+	// Workers is execution-only: any worker count simulates
+	// bit-identically, so it must not change the content address.
+	par := cfg
+	par.Workers = 8
+	if par.Digest() != d {
+		t.Error("Workers changed the digest")
+	}
+	// Anything that changes the simulation changes the digest.
+	for name, mutate := range map[string]func(*Config){
+		"Mode":    func(c *Config) { c.Mode = NPNB },
+		"Load":    func(c *Config) { c.Load = 0.25 },
+		"Seed":    func(c *Config) { c.Seed++ },
+		"Window":  func(c *Config) { c.Window *= 2 },
+		"Pattern": func(c *Config) { c.Pattern = "complement" },
+	} {
+		m := cfg
+		mutate(&m)
+		if m.Digest() == d {
+			t.Errorf("mutating %s did not change the digest", name)
+		}
+	}
+}
+
+func TestParseConfigValidation(t *testing.T) {
+	_, err := ParseConfig([]byte(`{"Load":-1,"Boards":0}`))
+	var ve ValidationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("error = %v, want ValidationError", err)
+	}
+	fields := strings.Join(ve.Fields(), ",")
+	for _, want := range []string{"Load", "Topology"} {
+		if !strings.Contains(fields, want) {
+			t.Errorf("validation fields %q missing %s", fields, want)
+		}
+	}
+	// All failures are collected in one pass, not just the first.
+	if len(ve) < 2 {
+		t.Errorf("ValidationError has %d entries, want >= 2: %v", len(ve), ve)
+	}
+	if _, err := ParseConfig([]byte(`{"Pattern":"bogus"}`)); err == nil ||
+		!strings.Contains(err.Error(), "Pattern") {
+		t.Errorf("bad pattern error = %v, want a Pattern field error", err)
+	}
+	if _, err := ParseConfig([]byte(`not json`)); err == nil {
+		t.Error("malformed JSON accepted")
 	}
 }

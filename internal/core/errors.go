@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FieldError locates one invalid configuration value. Field is the
+// JSON/Go field name of Config ("Load", "Pattern", "Faults", ... or
+// "Topology" for cross-field shape errors), so API servers can report
+// machine-readable per-field diagnostics.
+type FieldError struct {
+	Field string `json:"field"`
+	Msg   string `json:"error"`
+}
+
+// Error implements error.
+func (e FieldError) Error() string { return e.Field + ": " + e.Msg }
+
+// ValidationError aggregates every invalid field of a Config. Validate
+// collects all failures in one pass rather than stopping at the first,
+// so a caller (or an API client) can fix a document in one round trip.
+type ValidationError []FieldError
+
+// Error implements error.
+func (e ValidationError) Error() string {
+	switch len(e) {
+	case 0:
+		return "core: invalid config"
+	case 1:
+		return "core: invalid config: " + e[0].Error()
+	}
+	var b strings.Builder
+	b.WriteString("core: invalid config:")
+	for _, f := range e {
+		b.WriteString("\n  ")
+		b.WriteString(f.Error())
+	}
+	return b.String()
+}
+
+// Fields returns the invalid field names, in declaration order.
+func (e ValidationError) Fields() []string {
+	out := make([]string, len(e))
+	for i, f := range e {
+		out[i] = f.Field
+	}
+	return out
+}
+
+// CancelledError reports a run stopped early by its context. The
+// partial Result returned alongside it covers the completed portion of
+// the run; Window counts the reconfiguration windows that finished
+// before cancellation took effect (the run's per-window telemetry
+// holds exactly that prefix).
+type CancelledError struct {
+	// Window is the number of completed R_w windows.
+	Window uint64
+	// Cycle is the first cycle that was not simulated.
+	Cycle uint64
+	// Cause is the context's error (context.Canceled or
+	// context.DeadlineExceeded).
+	Cause error
+}
+
+// Error implements error.
+func (e *CancelledError) Error() string {
+	return fmt.Sprintf("core: run cancelled after %d windows (%d cycles): %v", e.Window, e.Cycle, e.Cause)
+}
+
+// Unwrap exposes the context error to errors.Is.
+func (e *CancelledError) Unwrap() error { return e.Cause }

@@ -19,6 +19,11 @@ func FuzzConfigIO(f *testing.F) {
 	f.Add([]byte(`{"BurstLength":300,"BurstDuty":0.25,"InjectionRate":0.01}`))
 	f.Add([]byte(`{"Faults":{"events":[{"at":100,"kind":"laser-kill","board":2,"wavelength":3,"dest":5}]}}`))
 	f.Add([]byte(`{"Faults":{"seed":9,"ctrl_drop_rate":0.05,"laser_degrade_rate":0.001,"degrade_cycles":65}}`))
+	f.Add([]byte(`{"schema_version":1}`))
+	f.Add([]byte(`{"schema_version":1,"Mode":"NP-B","Load":0.3,"Workers":4}`))
+	f.Add([]byte(`{"schema_version":2,"Mode":"P-B"}`))
+	f.Add([]byte(`{"schema_version":0}`))
+	f.Add([]byte(`{"schema_version":-1,"Window":100}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		cfg := DefaultConfig(PB)
 		if err := json.Unmarshal(data, &cfg); err != nil {

@@ -1,16 +1,29 @@
 package core
 
-import "repro/internal/stats"
+import (
+	"context"
+
+	"repro/internal/stats"
+)
 
 // Run simulates the configured system through warm-up, measurement and
-// drain, and returns the collected metrics. It is the primary entry
-// point of the library.
+// drain, and returns the collected metrics. It is RunContext without
+// cancellation.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation: the context is
+// checked once per reconfiguration-window boundary, so a cancelled run
+// returns within one R_w window with a partial Result and a
+// *CancelledError (never a wedge, and never a perturbed result — the
+// completed prefix is bit-identical to the uncancelled run).
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	s, err := NewSystem(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return s.Run(), nil
+	return s.RunContext(ctx)
 }
 
 // Run executes the measurement methodology of Sec. 4 on an assembled
@@ -18,10 +31,21 @@ func Run(cfg Config) (*Result, error) {
 // measurement interval, and run until every labeled packet is delivered
 // (or the drain limit is reached).
 func (s *System) Run() *Result {
+	res, _ := s.RunContext(context.Background())
+	return res
+}
+
+// RunContext is Run with cooperative cancellation checked once per
+// reconfiguration window (see the package-level RunContext). On
+// cancellation it still tears the system down cleanly and returns the
+// metrics of the completed portion alongside a *CancelledError.
+func (s *System) RunContext(ctx context.Context) (*Result, error) {
 	s.ctl.Start()
 	limit := s.cfg.WarmupCycles + s.cfg.MeasureCycles + s.cfg.DrainLimitCycles
+	window := s.cfg.Window
 	truncated := false
 	var now uint64
+	var cancelled error
 	for {
 		now = s.Step()
 		if s.meas.Phase() == stats.Done {
@@ -31,6 +55,15 @@ func (s *System) Run() *Result {
 			truncated = true
 			break
 		}
+		if (now+1)%window == 0 {
+			// Window boundary: the only point cancellation takes effect, so
+			// a cancelled run's per-window telemetry is an exact prefix of
+			// the uncancelled run's.
+			if err := ctx.Err(); err != nil {
+				cancelled = err
+				break
+			}
+		}
 	}
 	s.eng.Stop()
 	res := s.result(now, truncated)
@@ -38,7 +71,10 @@ func (s *System) Run() *Result {
 	// complete.
 	s.eng.Shutdown()
 	s.Close()
-	return res
+	if cancelled != nil {
+		return res, &CancelledError{Window: (now + 1) / window, Cycle: now + 1, Cause: cancelled}
+	}
+	return res, nil
 }
 
 func (s *System) result(cycles uint64, truncated bool) *Result {

@@ -93,7 +93,7 @@ type board struct {
 
 // NewSystem validates the configuration and assembles the network.
 func NewSystem(cfg Config) (*System, error) {
-	top, err := cfg.Validate()
+	top, err := cfg.topology()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,81 @@
+package service
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+)
+
+// cacheEntry is one completed simulation, content-addressed by its
+// config digest. The result is kept as its serialized JSON (the form
+// every consumer wants) plus the result digest clients use to verify
+// byte-identical reproduction.
+type cacheEntry struct {
+	configDigest string
+	resultJSON   json.RawMessage
+	resultDigest string
+}
+
+// resultCache is a bounded LRU of completed run results keyed by
+// canonical config digest: identical submitted configs dedupe to one
+// simulation for as long as the entry stays resident.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recent; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+// newResultCache creates a cache holding up to capacity results; a
+// non-positive capacity disables caching.
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached entry for a config digest, refreshing its
+// recency, or nil.
+func (c *resultCache) get(configDigest string) *cacheEntry {
+	if c.cap <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el := c.entries[configDigest]
+	if el == nil {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry)
+}
+
+// put stores a completed result, evicting the least recently used
+// entry beyond capacity.
+func (c *resultCache) put(e *cacheEntry) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el := c.entries[e.configDigest]; el != nil {
+		el.Value = e
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[e.configDigest] = c.order.PushFront(e)
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).configDigest)
+	}
+}
+
+// len returns the resident entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

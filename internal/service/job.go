@@ -1,0 +1,129 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sweep"
+)
+
+// JobState is the lifecycle state of a submitted job.
+type JobState string
+
+const (
+	// StateQueued: accepted, waiting for a worker (or for the identical
+	// in-flight simulation it deduped onto).
+	StateQueued JobState = "queued"
+	// StateRunning: a worker is simulating.
+	StateRunning JobState = "running"
+	// StateDone: finished successfully; the result is available.
+	StateDone JobState = "done"
+	// StateFailed: the run errored or exceeded its timeout.
+	StateFailed JobState = "failed"
+	// StateCancelled: stopped by DELETE or server shutdown.
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job is one queued simulation. All mutable fields are guarded by the
+// owning Server's mutex; handlers read them only through snapshot.
+type Job struct {
+	id    string
+	kind  string // "run" or "sweep"
+	state JobState
+
+	// run jobs.
+	cfg          core.Config
+	configDigest string
+	cached       bool
+	dedupeOf     string // primary job id this job deduped onto
+
+	// sweep jobs.
+	sweepReq   sweep.Request
+	sweepTotal int
+
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
+
+	resultJSON   json.RawMessage
+	resultDigest string
+	errMsg       string
+	// partial marks a cancelled/timed-out run whose resultJSON covers
+	// only the completed window prefix.
+	partial bool
+
+	events *eventLog
+	// runCtx is the job's cancellable base context; cancel aborts it.
+	runCtx context.Context
+	cancel context.CancelFunc
+	// followers are jobs deduped onto this in-flight one; they complete
+	// (and share fate) with it.
+	followers []*Job
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+}
+
+// JobView is the JSON representation of a job returned by the API.
+type JobView struct {
+	ID    string   `json:"id"`
+	Kind  string   `json:"kind"`
+	State JobState `json:"state"`
+	// Cached marks a run answered from the content-addressed result
+	// cache without simulating.
+	Cached bool `json:"cached,omitempty"`
+	// DedupeOf names the in-flight job this submission deduped onto.
+	DedupeOf string `json:"dedupe_of,omitempty"`
+	// ConfigDigest is the canonical config content address (run jobs).
+	ConfigDigest string `json:"config_digest,omitempty"`
+	// ResultDigest is the SHA-256 of the serialized result; two runs of
+	// the same config digest always report the same result digest.
+	ResultDigest string     `json:"result_digest,omitempty"`
+	SubmittedAt  time.Time  `json:"submitted_at"`
+	StartedAt    *time.Time `json:"started_at,omitempty"`
+	FinishedAt   *time.Time `json:"finished_at,omitempty"`
+	Error        string     `json:"error,omitempty"`
+	// Partial marks a cancelled or timed-out run whose result covers
+	// only the completed reconfiguration-window prefix.
+	Partial bool `json:"partial,omitempty"`
+	// Result is the run's metrics (or a sweep's series) once done.
+	Result json.RawMessage `json:"result,omitempty"`
+	// EventsURL streams the job's live telemetry as NDJSON/SSE.
+	EventsURL string `json:"events_url,omitempty"`
+}
+
+// snapshot renders the job's current state; the caller must hold the
+// server mutex.
+func (j *Job) snapshot() JobView {
+	v := JobView{
+		ID:           j.id,
+		Kind:         j.kind,
+		State:        j.state,
+		Cached:       j.cached,
+		DedupeOf:     j.dedupeOf,
+		ConfigDigest: j.configDigest,
+		ResultDigest: j.resultDigest,
+		SubmittedAt:  j.submittedAt,
+		Error:        j.errMsg,
+		Partial:      j.partial,
+		Result:       j.resultJSON,
+	}
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
+		v.StartedAt = &t
+	}
+	if !j.finishedAt.IsZero() {
+		t := j.finishedAt
+		v.FinishedAt = &t
+	}
+	if j.events != nil {
+		v.EventsURL = "/v1/jobs/" + j.id + "/events"
+	}
+	return v
+}

@@ -9,6 +9,8 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -71,9 +73,26 @@ type Request struct {
 
 // Run executes the sweep and returns one series per (pattern, mode), in
 // request order, with points ordered by load.
+//
+// Deprecated: use RunContext, which supports cancellation and reports
+// point errors directly instead of requiring a separate Errs pass.
 func Run(req Request) []Series {
+	series, _ := RunContext(context.Background(), req)
+	return series
+}
+
+// RunContext executes the sweep with bounded parallelism and
+// cooperative cancellation, returning one series per (pattern, mode) in
+// request order with points ordered by load, plus the joined errors of
+// every failed point (nil when all points succeeded).
+//
+// Cancelling the context stops dispatching new points and cancels the
+// in-flight runs at their next reconfiguration-window boundary; the
+// returned series then hold the completed points, every unfinished
+// point carries the context's error, and the joined error is non-nil.
+func RunContext(ctx context.Context, req Request) ([]Series, error) {
 	if len(req.Patterns) == 0 || len(req.Modes) == 0 || len(req.Loads) == 0 {
-		return nil
+		return nil, nil
 	}
 	workers := req.Workers
 	if workers <= 0 {
@@ -115,7 +134,7 @@ func Run(req Request) []Series {
 				cfg.Mode = s.Mode
 				cfg.Pattern = s.Pattern
 				cfg.Load = j.load
-				res, err := core.Run(cfg)
+				res, err := core.RunContext(ctx, cfg)
 				pt := Point{Load: j.load, Result: res, Err: err}
 				mu.Lock()
 				s.Points[j.pi] = pt
@@ -128,15 +147,35 @@ func Run(req Request) []Series {
 			}
 		}()
 	}
+dispatch:
 	for _, j := range jobs {
-		next <- j
+		select {
+		case next <- j:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
-	return series
+	if err := ctx.Err(); err != nil {
+		// Mark the points that never ran so the caller can tell a
+		// cancelled hole from a legitimately empty series.
+		for si := range series {
+			for pi := range series[si].Points {
+				p := &series[si].Points[pi]
+				if p.Result == nil && p.Err == nil {
+					p.Err = err
+				}
+			}
+		}
+	}
+	return series, errors.Join(Errs(series)...)
 }
 
 // Errs collects the errors across all points of all series.
+//
+// Deprecated: RunContext already returns these errors joined; Errs
+// remains for callers of the deprecated Run.
 func Errs(series []Series) []error {
 	var errs []error
 	for _, s := range series {

@@ -1,6 +1,9 @@
 package sweep
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"sync/atomic"
 	"testing"
 
@@ -141,5 +144,79 @@ func TestSaturationLoad(t *testing.T) {
 func TestEmptyRequest(t *testing.T) {
 	if got := Run(Request{Base: fastBase()}); got != nil {
 		t.Fatalf("empty request produced %v", got)
+	}
+}
+
+// TestRunContextCancellation: cancelling a sweep stops dispatching,
+// cancels in-flight runs at their next window boundary, and marks
+// every unfinished point with the context error.
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var finished atomic.Int64
+	series, err := RunContext(ctx, Request{
+		Base:     fastBase(),
+		Patterns: []string{traffic.Uniform},
+		Modes:    []core.Mode{core.NPNB, core.PB},
+		Loads:    []float64{0.2, 0.3, 0.4, 0.5},
+		Workers:  1,
+		OnResult: func(Series, Point) {
+			// Cancel as soon as the first point completes: with one worker
+			// the remaining points cannot all have run.
+			if finished.Add(1) == 1 {
+				cancel()
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("cancelled sweep returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("sweep error %v does not wrap context.Canceled", err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("got %d series, want 2", len(series))
+	}
+	var ok, cancelled int
+	for _, s := range series {
+		for _, p := range s.Points {
+			switch {
+			case p.Err == nil && p.Result != nil:
+				ok++
+			case p.Err != nil && errors.Is(p.Err, context.Canceled):
+				cancelled++
+			default:
+				t.Fatalf("%s load %v: inconsistent point (result %v, err %v)",
+					s.Label(), p.Load, p.Result != nil, p.Err)
+			}
+		}
+	}
+	if ok == 0 {
+		t.Error("no point completed before cancellation")
+	}
+	if cancelled == 0 {
+		t.Error("no point carries the cancellation error")
+	}
+	if ok+cancelled != 8 {
+		t.Errorf("points = %d ok + %d cancelled, want 8 total", ok, cancelled)
+	}
+}
+
+// TestRunContextMatchesRun: with a background context, RunContext and
+// the deprecated Run produce identical series.
+func TestRunContextMatchesRun(t *testing.T) {
+	req := Request{
+		Base:     fastBase(),
+		Patterns: []string{traffic.Uniform},
+		Modes:    []core.Mode{core.PB},
+		Loads:    []float64{0.2},
+	}
+	a := Run(req)
+	b, err := RunContext(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Run and RunContext disagree:\n%+v\n%+v", a, b)
 	}
 }

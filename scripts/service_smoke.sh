@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the erapid-serve HTTP API:
+#
+#   1. build and start the daemon
+#   2. POST a small P-B run and stream its live telemetry to completion
+#   3. re-POST the identical config and verify the content-addressed
+#      cache answers instantly with the same result digest
+#   4. verify structured 400s for invalid configs
+#   5. SIGTERM and verify the server drains and exits
+#
+# Usage: scripts/service_smoke.sh [addr]   (default 127.0.0.1:18080)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${1:-127.0.0.1:18080}"
+WORKDIR="$(mktemp -d)"
+trap 'kill -9 "$SERVE_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+go build -o "$WORKDIR/erapid-serve" ./cmd/erapid-serve
+"$WORKDIR/erapid-serve" -addr "$ADDR" -drain 60s &
+SERVE_PID=$!
+
+for _ in $(seq 1 100); do
+  curl -fsS "http://$ADDR/v1/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "http://$ADDR/v1/healthz" | python3 -c \
+  'import sys, json; h = json.load(sys.stdin); assert h["status"] == "ok", h; print("healthz:", h)'
+
+CFG='{"Mode":"P-B","Pattern":"complement","Load":0.7,"Boards":4,"NodesPerBoard":4,
+      "Window":500,"WarmupCycles":3000,"MeasureCycles":3000,"DrainLimitCycles":60000}'
+
+ID=$(curl -fsS -d "$CFG" "http://$ADDR/v1/runs" | python3 -c \
+  'import sys, json; j = json.load(sys.stdin); assert j["state"] in ("queued", "running"), j; print(j["id"])')
+echo "submitted run $ID"
+
+# The event stream blocks until the run finishes; every line must parse
+# in the stable JSONL schema and the measurement phases must appear.
+curl -fsSN "http://$ADDR/v1/jobs/$ID/events" | python3 -c '
+import sys, json
+n = phases = 0
+for line in sys.stdin:
+    ev = json.loads(line)
+    assert "cycle" in ev and "kind" in ev, ev
+    n += 1
+    phases += ev["kind"] == "phase"
+assert n > 0 and phases >= 3, (n, phases)
+print(f"streamed {n} events ({phases} phase changes)")
+'
+
+DIGEST=$(curl -fsS "http://$ADDR/v1/jobs/$ID" | python3 -c \
+  'import sys, json; j = json.load(sys.stdin); assert j["state"] == "done", j; assert j["result"], j; print(j["result_digest"])')
+echo "run done, result digest $DIGEST"
+
+# Identical config → content-addressed cache hit: instantly terminal,
+# marked cached, byte-identical result (same digest), HTTP 200.
+curl -fsS -o "$WORKDIR/second.json" -w '%{http_code}' -d "$CFG" "http://$ADDR/v1/runs" | grep -qx 200
+DIGEST="$DIGEST" SECOND="$WORKDIR/second.json" python3 -c '
+import json, os
+j = json.load(open(os.environ["SECOND"]))
+assert j.get("cached") is True, j
+assert j["state"] == "done", j
+assert j["result_digest"] == os.environ["DIGEST"], (j["result_digest"], os.environ["DIGEST"])
+print("cache hit verified:", j["id"])
+'
+
+# Invalid config → structured 400 naming the offending fields.
+CODE=$(curl -s -o "$WORKDIR/err.json" -w '%{http_code}' -d '{"Load":-1,"Window":0}' "http://$ADDR/v1/runs")
+test "$CODE" = 400
+ERR="$WORKDIR/err.json" python3 -c '
+import json, os
+e = json.load(open(os.environ["ERR"]))
+fields = {f["field"] for f in e["fields"]}
+assert {"Load", "Window"} <= fields, e
+print("validation errors verified:", sorted(fields))
+'
+
+# SIGTERM → graceful drain and exit.
+kill -TERM "$SERVE_PID"
+for _ in $(seq 1 200); do
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVE_PID" 2>/dev/null; then
+  echo "erapid-serve did not exit after SIGTERM" >&2
+  exit 1
+fi
+wait "$SERVE_PID" || true
+echo "service smoke OK"
