@@ -5,16 +5,16 @@
 //
 //	serial head    engine events (LS control), due optical deliveries,
 //	               fault strikes, measurement advance, metering switch
-//	compute A      per board: injector RNG draws (independent per-node
-//	               streams) into the board's draw outbox
+//	compute A      per shard: injector RNG draws (independent per-node
+//	               streams) into each board's draw outbox
 //	serial middle  packet admission in global node order: IDs, labeling,
 //	               pool recycling, inject events, NIC enqueue
-//	compute B      per board: NIC ticks, rx ticks, IBI tick, fabric
+//	compute B      per shard: NIC ticks, rx ticks, IBI tick, fabric
 //	               board tick — board-local state only, shared effects
 //	               deferred into per-board outboxes
 //	serial commit  outboxes drained in ascending board order (NIC
-//	               events, deliveries, fabric side effects), then the
-//	               history/telemetry observers
+//	               net-enter events, deliveries, fabric side effects),
+//	               then the history/telemetry observers
 //
 // Every serial sub-order above matches the order the serial step visits
 // the same points in (the serial step iterates NICs in node order,
@@ -22,16 +22,29 @@
 // parallel run commits identical state — including the float-addition
 // order of the power meter and the byte order of the telemetry stream —
 // regardless of worker count.
+//
+// Dispatch is epoch-granular, not cycle-granular. The pool hands the
+// workers ONE closure per epoch (a run of cycles up to the next
+// reconfiguration-window boundary, the cycle limit, or measurement
+// Done); within the epoch the workers stay resident and synchronize
+// with a spin barrier at each phase edge — four barrier crossings per
+// steady-state cycle, zero channel operations. The serial phases all
+// run on worker 0 (the caller) between barriers; the cycle-c commit and
+// the cycle-c+1 head share one serial section, which is what merges the
+// loop-back edge into four barriers instead of five. Cycle-grain pool
+// dispatch (two channel round-trips per cycle) cost more than the
+// compute it bought on small configs; see DESIGN.md for the numbers.
 package core
 
 import (
 	"repro/internal/flit"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
 
 // injDraw is one positive injector decision from compute phase A.
-type injDraw struct{ node, dst int }
+type injDraw struct{ node, dst int32 }
 
 // pendingDeliver is one packet ejected during compute phase B, awaiting
 // its serial delivery accounting.
@@ -40,36 +53,70 @@ type pendingDeliver struct {
 	at uint64
 }
 
-// parState is the parallel-stepping state: the worker pool plus one
-// outbox set per board. Outboxes are indexed by board, owned by the
-// board's worker during compute phases and drained serially at commit;
-// their backing arrays are retained across cycles.
-type parState struct {
-	pool *sim.Pool
-	// computing is written only by the driving goroutine outside the
-	// pool's dispatch window (the pool barrier provides happens-before),
-	// so workers read it race-free.
-	computing bool
-
-	draws     [][]injDraw
-	nicEvents [][]telemetry.Event
-	delivered [][]pendingDeliver
+// boardOutbox is one board's deferred core-layer side effects for the
+// in-flight cycle, owned exclusively by the board's worker during
+// compute phases and drained serially at commit. Backing arrays are
+// retained across cycles. netEnter stores only packet IDs: the event's
+// cycle is the committing cycle and its board is the outbox index, so
+// one word per event suffices. The pad keeps adjacent boards' slice
+// headers off a shared cache line.
+type boardOutbox struct {
+	draws     []injDraw
+	netEnter  []uint64
+	delivered []pendingDeliver
+	_         [56]byte
 }
 
-// enableParallel switches the system to two-phase stepping with the
-// given worker count (clamped to the board count — boards are the shard
-// unit).
+// parState is the parallel-stepping state: the worker pool, the static
+// board shard assignment, one outbox per board, and the epoch cursor.
+//
+// The scalar fields (now, end, stop, computing) are written only by
+// worker 0 inside the serial sections between barriers; the barriers
+// publish them to the other workers (sequenced atomics, recognized by
+// the race detector), so plain loads suffice.
+type parState struct {
+	pool *sim.Pool
+	body func(id int)
+	// shardLo/shardHi give worker id the contiguous board range
+	// [shardLo[id], shardHi[id]). Static assignment keeps each board's
+	// outbox and shard state resident in one worker's cache across the
+	// whole run.
+	shardLo, shardHi []int
+
+	computing bool
+	now, end  uint64
+	stop      bool
+
+	outboxes []boardOutbox
+}
+
+// enableParallel switches the system to two-phase epoch stepping with
+// the given worker count (clamped to the board count — boards are the
+// shard unit).
 func (s *System) enableParallel(workers int) {
 	nb := len(s.boards)
 	if workers > nb {
 		workers = nb
 	}
-	s.par = &parState{
-		pool:      sim.NewPool(workers),
-		draws:     make([][]injDraw, nb),
-		nicEvents: make([][]telemetry.Event, nb),
-		delivered: make([][]pendingDeliver, nb),
+	par := &parState{
+		pool:     sim.NewPool(workers),
+		outboxes: make([]boardOutbox, nb),
 	}
+	workers = par.pool.Workers()
+	par.shardLo = make([]int, workers)
+	par.shardHi = make([]int, workers)
+	q, r := nb/workers, nb%workers
+	lo := 0
+	for id := 0; id < workers; id++ {
+		hi := lo + q
+		if id < r {
+			hi++
+		}
+		par.shardLo[id], par.shardHi[id] = lo, hi
+		lo = hi
+	}
+	par.body = s.epochBody
+	s.par = par
 	s.fab.EnableParallel()
 }
 
@@ -97,13 +144,14 @@ func (s *System) Close() {
 func (s *System) drawBoard(bi int) {
 	base := s.top.NodeID(0, bi, 0)
 	d := s.top.NodesPerBoard()
-	draws := s.par.draws[bi][:0]
+	ob := &s.par.outboxes[bi]
+	draws := ob.draws[:0]
 	for n := base; n < base+d; n++ {
 		if dst, ok := s.injectors[n].Step(); ok {
-			draws = append(draws, injDraw{node: n, dst: dst})
+			draws = append(draws, injDraw{node: int32(n), dst: int32(dst)})
 		}
 	}
-	s.par.draws[bi] = draws
+	ob.draws = draws
 }
 
 // tickBoardCompute runs compute phase B for one board, in the serial
@@ -131,52 +179,30 @@ func (s *System) tickBoardCompute(bi int, now uint64) {
 	s.fab.TickBoard(bi, now)
 }
 
-// stepParallel advances one cycle in compute/commit mode. It is
-// bit-identical to the serial step for the same seed.
-func (s *System) stepParallel(now uint64) {
-	s.stepHead(now)
+// commitCycle is the serial commit of one cycle: drain outboxes in
+// canonical board order — NIC net-enter events, then deliveries, then
+// the fabric's deferred side effects (tx sub-phases, laser sub-phases,
+// idle-power sample, deactivations) — exactly the serial step's
+// emission order, then the history/telemetry observers.
+func (s *System) commitCycle(now uint64) {
 	par := s.par
-
-	// Compute phase A: injector draws.
-	par.computing = true
-	par.pool.Run(len(s.boards), func(bi int) { s.drawBoard(bi) })
-	par.computing = false
-
-	// Serial middle: admit packets in global node order (contiguous
-	// ascending board shards keep each outbox in node order, so draining
-	// boards in order reproduces the serial injectAll sequence).
-	for bi := range s.boards {
-		for _, dr := range par.draws[bi] {
-			s.injectOne(dr.node, dr.dst, now)
-		}
-	}
-
-	// Compute phase B: board-local ticking with deferred shared effects.
-	par.computing = true
-	s.fab.BeginBoardTick()
-	par.pool.Run(len(s.boards), func(bi int) { s.tickBoardCompute(bi, now) })
-	par.computing = false
-
-	// Serial commit: drain outboxes in canonical board order — NIC
-	// dequeue events, then deliveries, then the fabric's deferred side
-	// effects (tx sub-phases, laser sub-phases, idle-power sample,
-	// deactivations) — exactly the serial step's emission order.
 	if s.tel != nil {
-		for bi := range s.boards {
-			evs := par.nicEvents[bi]
-			for i := range evs {
-				s.tel.Emit(evs[i])
+		for bi := range par.outboxes {
+			ob := &par.outboxes[bi]
+			for _, id := range ob.netEnter {
+				s.tel.Emit(telemetry.Event{Cycle: now, Kind: telemetry.PacketNetEnter,
+					Packet: id, Board: bi, Wavelength: -1, Dest: -1})
 			}
-			par.nicEvents[bi] = evs[:0]
+			ob.netEnter = ob.netEnter[:0]
 		}
 	}
-	for bi := range s.boards {
-		dvs := par.delivered[bi]
-		for i := range dvs {
-			s.deliverNow(dvs[i].p, dvs[i].at)
-			dvs[i] = pendingDeliver{}
+	for bi := range par.outboxes {
+		ob := &par.outboxes[bi]
+		for i := range ob.delivered {
+			s.deliverNow(ob.delivered[i].p, ob.delivered[i].at)
+			ob.delivered[i] = pendingDeliver{}
 		}
-		par.delivered[bi] = dvs[:0]
+		ob.delivered = ob.delivered[:0]
 	}
 	s.fab.CommitBoardTick(now)
 
@@ -187,4 +213,80 @@ func (s *System) stepParallel(now uint64) {
 		s.telemetry.observe(now)
 	}
 	s.cycle = now
+}
+
+// epochBody is the per-worker epoch closure: every worker (worker 0 is
+// the dispatching caller) runs this once per epoch and loops over the
+// epoch's cycles internally, meeting the others at a barrier on each
+// phase edge. Worker 0 runs the serial phases between barriers.
+//
+// Steady-state cycle: four barriers. The serial commit of cycle c and
+// the serial head of cycle c+1 share the section between barriers 4 and
+// 1' — stepHead only touches engine/fault/measurement state no compute
+// phase reads, so running it immediately after commit is the serial
+// order.
+func (s *System) epochBody(id int) {
+	par := s.par
+	lo, hi := par.shardLo[id], par.shardHi[id]
+	now := par.now
+	if id == 0 {
+		s.stepHead(now)
+		par.computing = true
+	}
+	par.pool.Barrier()
+	for {
+		// Compute phase A: injector draws.
+		for bi := lo; bi < hi; bi++ {
+			s.drawBoard(bi)
+		}
+		par.pool.Barrier()
+		if id == 0 {
+			// Serial middle: admit packets in global node order (contiguous
+			// ascending board shards keep each outbox in node order, so
+			// draining boards in order reproduces the serial injectAll
+			// sequence).
+			par.computing = false
+			for bi := range par.outboxes {
+				ob := &par.outboxes[bi]
+				for _, dr := range ob.draws {
+					s.injectOne(int(dr.node), int(dr.dst), now)
+				}
+			}
+			par.computing = true
+			s.fab.BeginBoardTick()
+		}
+		par.pool.Barrier()
+		// Compute phase B: board-local ticking, shared effects deferred.
+		for bi := lo; bi < hi; bi++ {
+			s.tickBoardCompute(bi, now)
+		}
+		par.pool.Barrier()
+		if id == 0 {
+			par.computing = false
+			s.commitCycle(now)
+			par.now = now + 1
+			par.stop = par.now >= par.end || s.meas.Phase() == stats.Done
+			if !par.stop {
+				s.stepHead(par.now)
+				par.computing = true
+			}
+		}
+		par.pool.Barrier()
+		if par.stop {
+			return
+		}
+		now = par.now
+	}
+}
+
+// stepEpoch advances the system n cycles (fewer if measurement reaches
+// Done) in one pool dispatch and returns the last simulated cycle.
+func (s *System) stepEpoch(n uint64) uint64 {
+	par := s.par
+	par.now = s.nextCycle
+	par.end = s.nextCycle + n
+	par.stop = false
+	par.pool.Epoch(par.body)
+	s.nextCycle = par.now
+	return par.now - 1
 }

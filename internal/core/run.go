@@ -47,7 +47,20 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 	var now uint64
 	var cancelled error
 	for {
-		now = s.Step()
+		if s.par != nil {
+			// Parallel systems step in epochs that run to the next
+			// reconfiguration-window boundary (or the cycle limit): one pool
+			// dispatch per epoch instead of per cycle. The epoch checks
+			// measurement Done after each cycle's commit — the same point the
+			// serial loop checks it — so both modes stop on the same cycle.
+			n := window - s.nextCycle%window
+			if rem := limit + 1 - s.nextCycle; rem < n {
+				n = rem
+			}
+			now = s.stepEpoch(n)
+		} else {
+			now = s.Step()
+		}
 		if s.meas.Phase() == stats.Done {
 			break
 		}

@@ -198,14 +198,16 @@ func (s *System) assemble() error {
 			nic.OnDequeue = func(p *flit.Packet, now uint64) {
 				p.NetworkAt = now
 				if s.tel != nil {
-					ev := telemetry.Event{Cycle: now, Kind: telemetry.PacketNetEnter, Packet: uint64(p.ID), Board: p.SrcBoard, Wavelength: -1, Dest: -1}
 					if par := s.par; par != nil && par.computing {
-						// Compute phase: buffer in the source board's outbox;
-						// the commit drains boards in ascending order, which
-						// reproduces the serial all-NICs node-order stream.
-						par.nicEvents[p.SrcBoard] = append(par.nicEvents[p.SrcBoard], ev)
+						// Compute phase: record just the packet ID in the source
+						// board's outbox (cycle and board are implied by the
+						// commit point and the outbox index); the commit drains
+						// boards in ascending order, which reproduces the serial
+						// all-NICs node-order stream.
+						ob := &par.outboxes[p.SrcBoard]
+						ob.netEnter = append(ob.netEnter, uint64(p.ID))
 					} else {
-						s.tel.Emit(ev)
+						s.tel.Emit(telemetry.Event{Cycle: now, Kind: telemetry.PacketNetEnter, Packet: uint64(p.ID), Board: p.SrcBoard, Wavelength: -1, Dest: -1})
 					}
 				}
 			}
@@ -310,7 +312,8 @@ func (s *System) routeFunc(bd *board) router.RouteFunc {
 // serial per-board IBI ticks produce deliveries in.
 func (s *System) onDeliver(p *flit.Packet, now uint64) {
 	if par := s.par; par != nil && par.computing {
-		par.delivered[p.DstBoard] = append(par.delivered[p.DstBoard], pendingDeliver{p: p, at: now})
+		ob := &par.outboxes[p.DstBoard]
+		ob.delivered = append(ob.delivered, pendingDeliver{p: p, at: now})
 		return
 	}
 	s.deliverNow(p, now)
@@ -428,12 +431,10 @@ func (s *System) stepHead(now uint64) {
 	}
 }
 
-// step advances the whole system by one cycle.
+// step advances the whole system by one cycle, serially. Parallel
+// systems step through stepEpoch instead (Step and RunContext
+// dispatch).
 func (s *System) step(now uint64) {
-	if s.par != nil {
-		s.stepParallel(now)
-		return
-	}
 	s.stepHead(now)
 	s.injectAll(now)
 	// Active-set scheduling: visit components in the same deterministic
@@ -572,11 +573,38 @@ func (s *System) SetInjectionRate(rate float64) {
 
 // Step advances the whole system by exactly one cycle and returns the
 // cycle just simulated. It is the building block for custom drivers
-// (e.g. the design-space time-series example); Run uses it internally.
+// (e.g. the design-space time-series example); Run steps parallel
+// systems in window-sized epochs instead, amortizing the pool dispatch.
 func (s *System) Step() uint64 {
+	if s.par != nil {
+		return s.stepEpoch(1)
+	}
 	now := s.nextCycle
 	s.step(now)
 	s.nextCycle++
+	return now
+}
+
+// StepN advances the system up to n cycles (stopping early if the
+// measurement reaches Done) and returns the last cycle simulated. On a
+// parallel system the whole batch is one pool epoch — one worker
+// dispatch for all n cycles — which is how Run steps between window
+// boundaries; custom drivers that don't need per-cycle control should
+// prefer it over calling Step n times.
+func (s *System) StepN(n uint64) uint64 {
+	if n == 0 {
+		return s.cycle
+	}
+	if s.par != nil {
+		return s.stepEpoch(n)
+	}
+	var now uint64
+	for i := uint64(0); i < n; i++ {
+		now = s.Step()
+		if s.meas.Phase() == stats.Done {
+			break
+		}
+	}
 	return now
 }
 

@@ -194,6 +194,33 @@ type System struct {
 	// ringFault, when non-nil, filters every RC→RC message (fault
 	// injection). The healthy path never consults it beyond a nil check.
 	ringFault RingFault
+
+	// msgFree recycles consumed boardMsg records (and their entry
+	// slices) so the per-window ring exchange allocates nothing in the
+	// steady state. RC processes run one at a time under the engine, so
+	// the free list needs no locking.
+	msgFree []*boardMsg
+}
+
+// getMsg returns a recycled control message or a fresh one. Callers
+// must set every field they rely on; recycled entries keep capacity
+// only.
+func (s *System) getMsg() *boardMsg {
+	if n := len(s.msgFree); n > 0 {
+		m := s.msgFree[n-1]
+		s.msgFree[n-1] = nil
+		s.msgFree = s.msgFree[:n-1]
+		return m
+	}
+	return &boardMsg{}
+}
+
+// putMsg recycles a fully consumed control message. The assign slice is
+// deliberately dropped, never reused: the origin's lastAssign (and the
+// Link Response stage) may still reference it.
+func (s *System) putMsg(m *boardMsg) {
+	m.assign = nil
+	s.msgFree = append(s.msgFree, m)
 }
 
 // SetRingFault attaches a control-ring fault filter (nil detaches).

@@ -69,6 +69,11 @@ type RC struct {
 	// snap is the window-snapshot scratch, reused across windows (each
 	// window's snapshot is fully consumed before the next one is taken).
 	snap [][]laserSnap
+	// demand/holds/over are reconfigure's per-window scratch, reused so
+	// the Reconfigure stage only allocates the assign map it publishes.
+	demand []float64
+	holds  []int
+	over   []int
 }
 
 func newRC(s *System, board int) *RC {
@@ -224,6 +229,7 @@ func (rc *RC) bandwidthCycle(p *sim.Process, snap [][]laserSnap) {
 	p.Delay(sys.cfg.ComputeCycles)
 	assign := rc.reconfigure(full)
 	rc.lastAssign = assign
+	sys.putMsg(full)
 
 	// Stage 4: Board Response — circulate the new assignments so source
 	// boards update their outgoing tables.
@@ -257,14 +263,37 @@ func (rc *RC) bandwidthCycle(p *sim.Process, snap [][]laserSnap) {
 }
 
 // newRequest builds this RC's board-request message for the current
-// window and attempt.
+// window and attempt, reusing a recycled message when one is free.
 func (rc *RC) newRequest(attempt int) *boardMsg {
 	b := rc.sys.top.Boards()
-	m := &boardMsg{kind: "board-request", origin: rc.board, window: rc.windows,
-		attempt: attempt, entries: make([]chanEntry, b)}
+	m := rc.sys.getMsg()
+	m.kind = "board-request"
+	m.origin = rc.board
+	m.window = rc.windows
+	m.attempt = attempt
+	if cap(m.entries) < b {
+		m.entries = make([]chanEntry, b)
+	} else {
+		m.entries = m.entries[:b]
+		for i := range m.entries {
+			m.entries[i] = chanEntry{}
+		}
+	}
 	for w := 1; w < b; w++ {
 		m.entries[w].holder = rc.sys.fab.Channel(rc.board, w).Holder()
 	}
+	return m
+}
+
+// newResponse builds this RC's board-response message carrying the new
+// holder map.
+func (rc *RC) newResponse(attempt int, assign []int) *boardMsg {
+	m := rc.sys.getMsg()
+	m.kind = "board-response"
+	m.origin = rc.board
+	m.window = rc.windows
+	m.attempt = attempt
+	m.assign = assign
 	return m
 }
 
@@ -306,6 +335,7 @@ func (rc *RC) circulateRequest(p *sim.Process, snap [][]laserSnap) *boardMsg {
 			rc.send(rc.newRequest(attempt))
 		case m.window < rc.windows:
 			sys.ctr.StaleMsgs++ // leftover from an earlier window
+			sys.putMsg(m)
 		case m.origin == rc.board:
 			// Any attempt of my own request that made it all the way around
 			// carries a complete set of entries.
@@ -323,11 +353,12 @@ func (rc *RC) circulateRequest(p *sim.Process, snap [][]laserSnap) *boardMsg {
 // the holder change through their own next Board Request.
 func (rc *RC) circulateResponse(p *sim.Process, assign []int) {
 	sys := rc.sys
-	rc.send(&boardMsg{kind: "board-response", origin: rc.board, window: rc.windows, assign: assign})
+	rc.send(rc.newResponse(0, assign))
 	if sys.cfg.RecvTimeoutCycles == 0 {
 		for {
 			m := rc.recv(p, "board-response")
 			if m.origin == rc.board {
+				sys.putMsg(m)
 				return
 			}
 			rc.send(m)
@@ -348,11 +379,12 @@ func (rc *RC) circulateResponse(p *sim.Process, assign []int) {
 			attempt++
 			timeout *= 2
 			deadline = p.Now() + timeout
-			rc.send(&boardMsg{kind: "board-response", origin: rc.board, window: rc.windows,
-				attempt: attempt, assign: assign})
+			rc.send(rc.newResponse(attempt, assign))
 		case m.window < rc.windows:
 			sys.ctr.StaleMsgs++
+			sys.putMsg(m)
 		case m.origin == rc.board:
+			sys.putMsg(m)
 			return
 		default:
 			rc.send(m)
@@ -396,11 +428,19 @@ func (rc *RC) reconfigure(m *boardMsg) []int {
 	sys := rc.sys
 	b := sys.top.Boards()
 	th := sys.cfg.Thresholds
+	// assign escapes (lastAssign, the circulated response), so it is the
+	// one per-window allocation; the classification scratch is reused.
 	assign := make([]int, b)
-
-	// Demand per source board toward me.
-	demand := make([]float64, b)
-	holds := make([]int, b)
+	if rc.demand == nil {
+		rc.demand = make([]float64, b)
+		rc.holds = make([]int, b)
+		rc.over = make([]int, 0, b)
+	}
+	demand, holds := rc.demand, rc.holds
+	for i := range demand {
+		demand[i] = 0
+		holds[i] = 0
+	}
 	for w := 1; w < b; w++ {
 		e := m.entries[w]
 		assign[w] = e.holder
@@ -459,12 +499,13 @@ func (rc *RC) reconfigure(m *boardMsg) []int {
 	if maxHold <= 0 {
 		maxHold = b - 1
 	}
-	over := make([]int, 0, b)
+	over := rc.over[:0]
 	for s := 0; s < b; s++ {
 		if s != rc.board && demand[s] > th.BMax && holds[s] < maxHold {
 			over = append(over, s)
 		}
 	}
+	rc.over = over
 
 	// Pass 1: reclaim — return lent channels to congested owners when the
 	// current holder is not itself congested on that channel (and the

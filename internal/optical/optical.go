@@ -91,12 +91,19 @@ func (c Config) normalize() Config {
 
 // Channel is one incoming wavelength at one destination board: the fiber
 // segment from the couplers into receiver (d, w).
+//
+// Channels of one destination live in a contiguous slab, but adjacent
+// channels are driven — and their busyUntil written, from the compute
+// phase — by different holder boards, i.e. different workers; the pad
+// rounds the struct to a full cache line so those writes never share
+// one.
 type Channel struct {
 	d, w      int
 	holder    int
 	busyUntil uint64
 	// deliveries counts packets received on this channel.
 	deliveries uint64
+	_          [64 - 5*8]byte
 }
 
 // Holder returns the board currently driving the channel.
@@ -232,7 +239,9 @@ func (l *Laser) SetLevel(level int, now, relockCycles uint64) {
 		l.fab.refreshIdle(l)
 		if l.fab.observer != nil {
 			if dp := l.fab.deferring(); dp != nil {
-				dp.deferOp(l.s, fabOp{kind: opObsLevel, s: l.s, w: l.w, d: l.d, from: from, to: level, at: now})
+				lg := &dp.logs[l.s]
+				ev := lg.events()
+				*ev = append(*ev, evOp{kind: evLevel, w: int32(l.w), d: int32(l.d), from: int32(from), to: int32(level)})
 			} else {
 				l.fab.observer.LaserLevel(l.s, l.w, l.d, from, level, now)
 			}
@@ -271,13 +280,15 @@ type Fabric struct {
 
 	deliver [][]DeliverFunc // [d][w]
 
-	// active holds, per source board and in canonical (w, d) order within
-	// each board, every laser with queued packets or an in-flight
-	// serialization. Only these are ticked. Iterating boards in ascending
-	// order visits lasers in exactly the canonical (s, w, d) order the
-	// exhaustive scan used; keeping the lists per board makes each one
-	// private to the board's shard under parallel stepping.
-	active [][]*Laser
+	// shards holds the per-board mutable tick state (active and
+	// deferred-deactivation lists), one padded struct per board so the
+	// slice headers two workers rewrite every cycle never share a cache
+	// line. shards[s].active holds, in canonical (w, d) order, every
+	// laser of board s with queued packets or an in-flight
+	// serialization. Only these are ticked. Iterating boards in
+	// ascending order visits lasers in exactly the canonical (s, w, d)
+	// order the exhaustive scan used.
+	shards []boardShard
 	// idleLitMW is the summed supply power of lit, operating lasers that
 	// are NOT on the active list; it is added to the meter in one call per
 	// metered cycle so idle lasers need no per-cycle visit.
@@ -287,11 +298,6 @@ type Fabric struct {
 	// optical transmissions awaiting delivery; DeliverDue drains it.
 	delHeap []delivery
 	delSeq  uint64
-
-	// deact collects, per board, lasers leaving the active list within a
-	// Tick; their idle-aggregate refresh is deferred past the cycle's
-	// idle-power sample.
-	deact [][]*Laser
 
 	// par holds the deferred side-effect logs for parallel board ticking;
 	// nil on serial fabrics (the serial hot path pays one nil check per
@@ -312,6 +318,18 @@ type Fabric struct {
 	// dropHook receives packets discarded because their laser is
 	// permanently failed; nil (the healthy default) discards silently.
 	dropHook DeliverFunc
+}
+
+// boardShard is one board's per-tick mutable list state: the active
+// lasers and the lasers leaving the active list within a Tick (their
+// idle-aggregate refresh is deferred past the cycle's idle-power
+// sample). The pad keeps adjacent boards' slice headers — rewritten by
+// different workers every cycle under parallel stepping — on disjoint
+// cache lines.
+type boardShard struct {
+	active []*Laser
+	deact  []*Laser
+	_      [64 - 2*24]byte
 }
 
 // SetDropHook registers the accounting path for packets discarded at
@@ -339,22 +357,31 @@ func NewFabric(top *topology.Topology, eng *sim.Engine, cfg Config) (*Fabric, er
 	}
 	b := top.Boards()
 	f := &Fabric{top: top, eng: eng, cfg: cfg, meter: power.NewMeter(cfg.CycleNS)}
-	f.active = make([][]*Laser, b)
-	f.deact = make([][]*Laser, b)
+	f.shards = make([]boardShard, b)
 	f.channels = make([][]*Channel, b)
 	f.deliver = make([][]DeliverFunc, b)
 	for d := 0; d < b; d++ {
+		// One padded slab per destination: pointer identity stays stable
+		// (callers hold *Channel) while the structs themselves are
+		// contiguous and line-aligned relative to each other.
+		chSlab := make([]Channel, b)
 		f.channels[d] = make([]*Channel, b)
 		f.deliver[d] = make([]DeliverFunc, b)
 		for w := 1; w < b; w++ {
-			f.channels[d][w] = &Channel{d: d, w: w, holder: top.StaticOwner(d, w)}
+			ch := &chSlab[w]
+			ch.d, ch.w, ch.holder = d, w, top.StaticOwner(d, w)
+			f.channels[d][w] = ch
 		}
 	}
+	// Lasers are laid out struct-of-arrays per source board: one
+	// contiguous slab holds every populated laser of board s, so the
+	// working set a single worker walks each cycle is dense instead of
+	// scattered across b² heap objects.
 	f.lasers = make([][][]*Laser, b)
 	for s := 0; s < b; s++ {
 		f.lasers[s] = make([][]*Laser, b)
+		populated := 0
 		for w := 1; w < b; w++ {
-			// The static destination of transmitter (s, w).
 			staticDst := ((s-w)%b + b) % b
 			f.lasers[s][w] = make([]*Laser, b)
 			for d := 0; d < b; d++ {
@@ -364,16 +391,41 @@ func NewFabric(top *topology.Topology, eng *sim.Engine, cfg Config) (*Fabric, er
 				if cfg.PortRadius > 0 && ringDistance(d, staticDst, b) > cfg.PortRadius {
 					continue // this port is not populated in the cost-reduced array
 				}
-				l := &Laser{s: s, w: w, d: d, ladder: cfg.Ladder, level: cfg.DefaultLevel,
-					fab: f, key: (s*b+w)*b + d}
+				populated++
+			}
+		}
+		slab := make([]Laser, populated)
+		next := 0
+		for w := 1; w < b; w++ {
+			// The static destination of transmitter (s, w).
+			staticDst := ((s-w)%b + b) % b
+			for d := 0; d < b; d++ {
+				if d == s {
+					continue
+				}
+				if cfg.PortRadius > 0 && ringDistance(d, staticDst, b) > cfg.PortRadius {
+					continue
+				}
+				l := &slab[next]
+				next++
+				l.s, l.w, l.d = s, w, d
+				l.ladder = cfg.Ladder
+				l.level = cfg.DefaultLevel
+				l.fab = f
+				l.key = (s*b+w)*b + d
 				f.lasers[s][w][d] = l
 				f.refreshIdle(l)
 			}
 		}
 	}
 	for s := 0; s < b; s++ {
+		// Per-board transmitter slabs: a board's b-1 transmitters are
+		// walked together by the board's worker every cycle.
+		txSlab := make([]Transmitter, b-1)
 		for w := 1; w < b; w++ {
-			f.txs = append(f.txs, newTransmitter(f, s, w))
+			tx := &txSlab[w-1]
+			tx.init(f, s, w)
+			f.txs = append(f.txs, tx)
 		}
 	}
 	return f, nil
@@ -403,7 +455,7 @@ func (f *Fabric) refreshIdle(l *Laser) {
 	delta := c - l.idleContrib
 	l.idleContrib = c
 	if p := f.deferring(); p != nil {
-		p.deferOp(l.s, fabOp{kind: opIdleDelta, mw: delta})
+		p.logs[l.s].addIdle(delta)
 		return
 	}
 	f.idleLitMW += delta
@@ -447,7 +499,8 @@ func (f *Fabric) activateLaser(l *Laser, now uint64) {
 	}
 	f.syncStats(l, now)
 	l.active = true
-	lst := f.active[l.s]
+	sh := &f.shards[l.s]
+	lst := sh.active
 	lo, hi := 0, len(lst)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
@@ -460,7 +513,7 @@ func (f *Fabric) activateLaser(l *Laser, now uint64) {
 	lst = append(lst, nil)
 	copy(lst[lo+1:], lst[lo:])
 	lst[lo] = l
-	f.active[l.s] = lst
+	sh.active = lst
 	f.refreshIdle(l)
 }
 
@@ -730,7 +783,7 @@ func (f *Fabric) PendingDeliveries() int { return len(f.delHeap) }
 // forward in bulk (syncStats, idleLitMW).
 func (f *Fabric) Tick(now uint64) {
 	f.DeliverDue(now)
-	nb := len(f.active)
+	nb := len(f.shards)
 	for s := 0; s < nb; s++ {
 		f.tickBoardTx(s, now)
 	}
@@ -761,9 +814,10 @@ func (f *Fabric) tickBoardTx(s int, now uint64) {
 // tickBoardLasers advances board s's active lasers one cycle, compacting
 // lasers that go idle onto the board's deferred-deactivation list.
 func (f *Fabric) tickBoardLasers(s int, now uint64) {
-	lst := f.active[s]
+	sh := &f.shards[s]
+	lst := sh.active
 	kept := lst[:0]
-	deact := f.deact[s][:0]
+	deact := sh.deact[:0]
 	for _, l := range lst {
 		f.tickLaser(l, now)
 		if len(l.queue) > 0 || l.busyUntil > now+1 {
@@ -776,20 +830,21 @@ func (f *Fabric) tickBoardLasers(s int, now uint64) {
 	for i := len(kept); i < len(lst); i++ {
 		lst[i] = nil
 	}
-	f.active[s] = kept
-	f.deact[s] = deact
+	sh.active = kept
+	sh.deact = deact
 }
 
 // flushDeact re-derives the idle supply contribution of board s's lasers
 // that left the active list this cycle (they join the idle aggregate
 // only from the next cycle on).
 func (f *Fabric) flushDeact(s int) {
-	d := f.deact[s]
+	sh := &f.shards[s]
+	d := sh.deact
 	for i, l := range d {
 		f.refreshIdle(l)
 		d[i] = nil
 	}
-	f.deact[s] = d[:0]
+	sh.deact = d[:0]
 }
 
 func (f *Fabric) tickLaser(l *Laser, now uint64) {
@@ -798,7 +853,7 @@ func (f *Fabric) tickLaser(l *Laser, now uint64) {
 	if lit && l.level == 0 && len(l.queue) > 0 && f.cfg.Ladder.Operating(f.autoWake) {
 		l.SetLevel(f.autoWake, now, f.cfg.RelockCycles)
 		if dp := f.deferring(); dp != nil {
-			dp.deferOp(l.s, fabOp{kind: opWake})
+			dp.logs[l.s].wakes++
 		} else {
 			f.wakes++
 		}
@@ -814,7 +869,8 @@ func (f *Fabric) tickLaser(l *Laser, now uint64) {
 		l.queue = l.queue[:len(l.queue)-1]
 		if f.observer != nil {
 			if dp := f.deferring(); dp != nil {
-				dp.deferOp(l.s, fabOp{kind: opObsTransmit, s: l.s, w: l.w, d: l.d, p: p, at: now})
+				lg := &dp.logs[l.s]
+				lg.laserEvents = append(lg.laserEvents, evOp{kind: evTransmit, w: int32(l.w), d: int32(l.d), p: p})
 			} else {
 				f.observer.LaserTransmit(l.s, l.w, l.d, p, now)
 			}
@@ -823,7 +879,8 @@ func (f *Fabric) tickLaser(l *Laser, now uint64) {
 		l.busyUntil = now + ser
 		ch.busyUntil = now + ser
 		if dp := f.deferring(); dp != nil {
-			dp.deferOp(l.s, fabOp{kind: opDelivery, d: l.d, w: l.w, p: p, at: now + ser + f.cfg.PropCycles})
+			lg := &dp.logs[l.s]
+			lg.deliver = append(lg.deliver, delOp{p: p, at: now + ser + f.cfg.PropCycles, w: int32(l.w), d: int32(l.d)})
 		} else {
 			f.pushDelivery(now+ser+f.cfg.PropCycles, l.d, l.w, p)
 		}
@@ -838,7 +895,8 @@ func (f *Fabric) tickLaser(l *Laser, now uint64) {
 	l.statsAt = now + 1
 	if f.meterEnabled && lit && l.Operating() {
 		if dp := f.deferring(); dp != nil {
-			dp.deferOp(l.s, fabOp{kind: opMeter, mw: f.cfg.Ladder.MW(l.level), busy: busy})
+			lg := &dp.logs[l.s]
+			lg.meter = append(lg.meter, meterOp{mw: f.cfg.Ladder.MW(l.level), busy: busy})
 		} else {
 			f.meter.AddCycleMW(f.cfg.Ladder.MW(l.level), busy)
 		}

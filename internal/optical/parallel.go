@@ -6,80 +6,117 @@
 // queues and windows, the board's active list, channel busy times (a
 // channel has exactly one holder board, and holders only change in the
 // serial control phase) — is mutated in place. Every side effect that
-// touches shared, order-sensitive state is instead recorded in a
-// per-board, per-sub-phase log:
+// touches shared, order-sensitive state is instead recorded in the
+// board's log, segregated by the shared target it will be applied to:
 //
+//   - observer events and drop-hook calls re-enter the core layer
+//     (telemetry, measurement), which feeds ONE ordered stream — so the
+//     four event-bearing kinds share one append-only log per sub-phase
+//     (txEvents, laserEvents), preserving their interleaving;
 //   - idle-aggregate float deltas (refreshIdle): float addition is not
 //     associative, so the deltas are computed in place but summed into
-//     idleLitMW only at commit, in the serial order;
+//     idleLitMW only at commit, in the serial order, one flat float
+//     slice per sub-phase;
 //   - power-meter samples (AddCycleMW): same float-ordering argument;
 //   - delivery-heap pushes: the FIFO tiebreak seq is assigned at commit;
-//   - drop-hook calls and observer events: they re-enter the core layer
-//     (measurement, telemetry), which is serial-only;
-//   - auto-wake counter increments.
+//   - auto-wake increments: a plain counter, so a per-board tally
+//     suffices.
 //
-// CommitBoardTick replays the logs in canonical order — all boards' tx
-// sub-phase logs in ascending board order, then all laser sub-phase
-// logs, then the cycle's idle-power sample, then the deferred
+// The logs are flat slices of small per-kind records — no pointers to
+// anything but the packet itself, no per-op closures — grouped in one
+// cache-line-padded struct per board so two workers never write the
+// same line. CommitBoardTick replays them in canonical order — all
+// boards' tx sub-phase logs in ascending board order, then all laser
+// sub-phase logs, then the cycle's idle-power sample, then the deferred
 // deactivation refreshes — which is exactly the order the serial Tick
 // produces those effects in, so the committed state and the emitted
-// event stream are bit-identical to a serial run.
+// event stream are bit-identical to a serial run. Distinct targets
+// (telemetry stream, idle aggregate, meter, delivery heap, wake
+// counter) never observe each other mid-cycle, so segregating them by
+// kind commutes with the serial interleaving per board.
 package optical
 
 import "repro/internal/flit"
 
-// Sub-phase log indices: the order they are replayed in at commit.
+// Sub-phase indices: the order sub-phases run within a tick and are
+// replayed in at commit.
 const (
-	logTx = iota
-	logLaser
-	logDeact
-	numLogs
+	phaseTx = iota
+	phaseLaser
+	phaseDeact
+	numPhases
 )
 
-// fabOp kinds.
+// evOp kinds: the side effects that feed the single ordered event
+// stream (observer + drop hook) and must keep their interleaving.
 const (
-	opIdleDelta   uint8 = iota // idleLitMW += mw
-	opMeter                    // meter.AddCycleMW(mw, busy)
-	opDelivery                 // pushDelivery(at, d, w, p)
-	opWake                     // wakes++
-	opDrop                     // dropHook(p, at)
-	opObsEnqueue               // observer.LaserEnqueue(s, w, d, p, at)
-	opObsTransmit              // observer.LaserTransmit(s, w, d, p, at)
-	opObsLevel                 // observer.LaserLevel(s, w, d, from, to, at)
+	evDrop     uint8 = iota // dropHook(p, now)
+	evEnqueue               // observer.LaserEnqueue(s, w, d, p, now)
+	evTransmit              // observer.LaserTransmit(s, w, d, p, now)
+	evLevel                 // observer.LaserLevel(s, w, d, from, to, now)
 )
 
-// fabOp is one deferred shared-state side effect, recorded during the
-// parallel compute phase and replayed serially at commit.
-type fabOp struct {
-	kind     uint8
-	s, w, d  int
-	from, to int
-	at       uint64
-	mw       float64
-	busy     bool
+// evOp is one deferred event-stream record. The source board is the log
+// index and the cycle is the committing cycle, so neither is stored.
+type evOp struct {
 	p        *flit.Packet
+	w, d     int32
+	from, to int32
+	kind     uint8
 }
 
-// fabPar is the fabric's parallel-stepping state: one log set per board,
-// owned by the board's worker during compute and drained by the serial
-// commit. The logs' backing arrays are retained across cycles, so the
-// steady state appends without allocating.
+// meterOp is one deferred power-meter sample.
+type meterOp struct {
+	mw   float64
+	busy bool
+}
+
+// delOp is one deferred delivery-heap push: packet p arrives on channel
+// (d, w) at cycle at.
+type delOp struct {
+	p    *flit.Packet
+	at   uint64
+	w, d int32
+}
+
+// boardLog is one board's deferred side effects for the in-flight
+// cycle, owned exclusively by the board's worker during compute. The
+// backing arrays are retained across cycles, so the steady state
+// appends without allocating. The trailing pad keeps two boards' hot
+// slice headers off any shared cache line (no false sharing between
+// adjacent workers' appends).
+type boardLog struct {
+	txEvents    []evOp               // tx sub-phase event stream (drop, enqueue)
+	laserEvents []evOp               // laser sub-phase event stream (transmit, level)
+	idle        [numPhases][]float64 // refreshIdle deltas per sub-phase
+	meter       []meterOp            // laser sub-phase meter samples
+	deliver     []delOp              // laser sub-phase delivery pushes
+	wakes       uint64               // auto-wake tally
+	cur         uint8                // sub-phase selector for deferred appends
+	_           [64]byte
+}
+
+// events returns the event log of the board's current sub-phase.
+func (lg *boardLog) events() *[]evOp {
+	if lg.cur == phaseTx {
+		return &lg.txEvents
+	}
+	return &lg.laserEvents
+}
+
+// addIdle defers one idle-aggregate delta in the current sub-phase.
+func (lg *boardLog) addIdle(delta float64) {
+	lg.idle[lg.cur] = append(lg.idle[lg.cur], delta)
+}
+
+// fabPar is the fabric's parallel-stepping state: one log per board.
 type fabPar struct {
 	// computing marks an in-progress compute phase. It is written only by
 	// the driving goroutine, before workers are dispatched and after they
-	// join (the pool barrier provides the happens-before edges), so
+	// join (the pool barriers provide the happens-before edges), so
 	// workers read it race-free.
 	computing bool
-	// cur selects each board's current sub-phase log (TickBoard switches
-	// it between the tx, laser and deactivation sub-phases).
-	cur  []uint8
-	logs [][numLogs][]fabOp
-}
-
-// deferOp appends a side effect to board s's current sub-phase log.
-func (p *fabPar) deferOp(s int, op fabOp) {
-	lg := &p.logs[s][p.cur[s]]
-	*lg = append(*lg, op)
+	logs      []boardLog
 }
 
 // deferring returns the parallel log set when a compute phase is in
@@ -94,8 +131,7 @@ func (f *Fabric) deferring() *fabPar {
 // EnableParallel allocates the per-board side-effect logs for parallel
 // board ticking. Call once, before the first TickBoard.
 func (f *Fabric) EnableParallel() {
-	b := f.top.Boards()
-	f.par = &fabPar{cur: make([]uint8, b), logs: make([][numLogs][]fabOp, b)}
+	f.par = &fabPar{logs: make([]boardLog, f.top.Boards())}
 }
 
 // BeginBoardTick enters the compute phase: until CommitBoardTick, every
@@ -114,64 +150,89 @@ func (f *Fabric) BeginBoardTick() {
 // does not sample idle power (CommitBoardTick does, after replaying the
 // laser logs).
 func (f *Fabric) TickBoard(s int, now uint64) {
-	p := f.par
-	p.cur[s] = logTx
+	lg := &f.par.logs[s]
+	lg.cur = phaseTx
 	f.tickBoardTx(s, now)
-	p.cur[s] = logLaser
+	lg.cur = phaseLaser
 	f.tickBoardLasers(s, now)
-	p.cur[s] = logDeact
+	lg.cur = phaseDeact
 	f.flushDeact(s)
 }
 
 // CommitBoardTick exits the compute phase and replays every board's
 // deferred side effects in the serial Tick's order: tx sub-phases in
 // ascending board order, laser sub-phases in ascending board order, the
-// cycle's idle-power sample, then the deactivation refreshes.
+// cycle's idle-power sample, then the deactivation refreshes. Within a
+// board's sub-phase each shared target receives its records in the
+// order they were produced; targets are mutually independent, so
+// draining them back-to-back is order-equivalent to the serial
+// interleaving.
 func (f *Fabric) CommitBoardTick(now uint64) {
 	p := f.par
 	p.computing = false
 	for s := range p.logs {
-		f.replayLog(&p.logs[s][logTx])
+		lg := &p.logs[s]
+		if len(lg.txEvents) > 0 {
+			f.replayEvents(s, lg.txEvents, now)
+			lg.txEvents = lg.txEvents[:0]
+		}
+		f.drainIdle(lg, phaseTx)
 	}
 	for s := range p.logs {
-		f.replayLog(&p.logs[s][logLaser])
+		lg := &p.logs[s]
+		if len(lg.laserEvents) > 0 {
+			f.replayEvents(s, lg.laserEvents, now)
+			lg.laserEvents = lg.laserEvents[:0]
+		}
+		f.drainIdle(lg, phaseLaser)
+		for _, m := range lg.meter {
+			f.meter.AddCycleMW(m.mw, m.busy)
+		}
+		lg.meter = lg.meter[:0]
+		for i := range lg.deliver {
+			dv := &lg.deliver[i]
+			f.pushDelivery(dv.at, int(dv.d), int(dv.w), dv.p)
+			dv.p = nil
+		}
+		lg.deliver = lg.deliver[:0]
+		f.wakes += lg.wakes
+		lg.wakes = 0
 	}
 	if f.meterEnabled {
 		f.meter.AddCycleMW(f.idleLitMW, false)
 		f.meter.Observe(1)
 	}
 	for s := range p.logs {
-		f.replayLog(&p.logs[s][logDeact])
+		f.drainIdle(&p.logs[s], phaseDeact)
 	}
 }
 
-// replayLog applies one board sub-phase's deferred effects in record
-// order and resets the log for the next cycle (keeping its capacity).
-func (f *Fabric) replayLog(ops *[]fabOp) {
-	lg := *ops
-	for i := range lg {
-		op := &lg[i]
-		switch op.kind {
-		case opIdleDelta:
-			f.idleLitMW += op.mw
-		case opMeter:
-			f.meter.AddCycleMW(op.mw, op.busy)
-		case opDelivery:
-			f.pushDelivery(op.at, op.d, op.w, op.p)
-		case opWake:
-			f.wakes++
-		case opDrop:
-			f.dropHook(op.p, op.at)
-		case opObsEnqueue:
-			f.observer.LaserEnqueue(op.s, op.w, op.d, op.p, op.at)
-		case opObsTransmit:
-			f.observer.LaserTransmit(op.s, op.w, op.d, op.p, op.at)
-		case opObsLevel:
-			f.observer.LaserLevel(op.s, op.w, op.d, op.from, op.to, op.at)
-		}
-		lg[i] = fabOp{}
+// drainIdle folds one board sub-phase's deferred idle deltas into the
+// shared aggregate, in record order.
+func (f *Fabric) drainIdle(lg *boardLog, phase int) {
+	for _, d := range lg.idle[phase] {
+		f.idleLitMW += d
 	}
-	*ops = lg[:0]
+	lg.idle[phase] = lg.idle[phase][:0]
+}
+
+// replayEvents applies one board sub-phase's event stream in record
+// order, dropping packet references as it goes.
+func (f *Fabric) replayEvents(s int, ops []evOp, now uint64) {
+	for i := range ops {
+		op := &ops[i]
+		switch op.kind {
+		case evDrop:
+			f.dropHook(op.p, now)
+		case evEnqueue:
+			f.observer.LaserEnqueue(s, int(op.w), int(op.d), op.p, now)
+		case evTransmit:
+			f.observer.LaserTransmit(s, int(op.w), int(op.d), op.p, now)
+		case evLevel:
+			f.observer.LaserLevel(s, int(op.w), int(op.d), int(op.from), int(op.to), now)
+		}
+		op.p = nil
+	}
 }
 
 // assertSerialPhase panics when a control-plane mutation is attempted

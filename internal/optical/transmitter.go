@@ -38,8 +38,15 @@ type txEntry struct {
 	readyAt uint64
 }
 
-func newTransmitter(f *Fabric, s, w int) *Transmitter {
-	return &Transmitter{f: f, s: s, w: w, vcs: make([]txVC, f.cfg.VCs)}
+// init prepares an in-place (slab-allocated) transmitter. Each VC's
+// reassembly buffer is pre-sized to a full packet — the credit protocol
+// caps it there — so the steady state never grows it.
+func (t *Transmitter) init(f *Fabric, s, w int) {
+	t.f, t.s, t.w = f, s, w
+	t.vcs = make([]txVC, f.cfg.VCs)
+	for v := range t.vcs {
+		t.vcs[v].entries = make([]txEntry, 0, f.cfg.FlitsPerPacket)
+	}
 }
 
 // Board returns the transmitter's board.
@@ -99,7 +106,8 @@ func (t *Transmitter) tick(now uint64) {
 			laser.dropWin++
 			if t.f.dropHook != nil {
 				if dp := t.f.deferring(); dp != nil {
-					dp.deferOp(t.s, fabOp{kind: opDrop, p: p, at: now})
+					lg := &dp.logs[t.s]
+					*lg.events() = append(*lg.events(), evOp{kind: evDrop, p: p})
 				} else {
 					t.f.dropHook(p, now)
 				}
@@ -124,7 +132,8 @@ func (t *Transmitter) tick(now uint64) {
 		t.f.activateLaser(laser, now)
 		if t.f.observer != nil {
 			if dp := t.f.deferring(); dp != nil {
-				dp.deferOp(t.s, fabOp{kind: opObsEnqueue, s: t.s, w: t.w, d: dst, p: p, at: now})
+				lg := &dp.logs[t.s]
+				*lg.events() = append(*lg.events(), evOp{kind: evEnqueue, w: int32(t.w), d: int32(dst), p: p})
 			} else {
 				t.f.observer.LaserEnqueue(t.s, t.w, dst, p, now)
 			}

@@ -190,16 +190,25 @@ func New(cfg Config) (*Router, error) {
 		return nil, err
 	}
 	r := &Router{cfg: cfg}
+	// The per-VC and per-port state lives in two contiguous slabs so one
+	// router's working set — which a single worker owns under parallel
+	// stepping — stays cache-local instead of scattered across the heap.
+	vcSlab := make([]inVC, cfg.Inputs*cfg.VCs)
 	r.ins = make([][]*inVC, cfg.Inputs)
 	for p := range r.ins {
 		r.ins[p] = make([]*inVC, cfg.VCs)
 		for v := range r.ins[p] {
-			r.ins[p][v] = &inVC{}
+			iv := &vcSlab[p*cfg.VCs+v]
+			// Buffers hold at most BufDepth flits (the credit protocol
+			// enforces it), so full pre-sizing removes all growth allocs.
+			iv.buf = make([]bufEntry, 0, cfg.BufDepth)
+			r.ins[p][v] = iv
 		}
 	}
+	outSlab := make([]outPort, cfg.Outputs)
 	r.outs = make([]*outPort, cfg.Outputs)
 	for p := range r.outs {
-		r.outs[p] = &outPort{}
+		r.outs[p] = &outSlab[p]
 	}
 	r.inputCreditSinks = make([]CreditSink, cfg.Inputs)
 	r.rrInVC = make([]int, cfg.Inputs)
@@ -207,6 +216,11 @@ func New(cfg Config) (*Router, error) {
 	r.outReqs = make([]int, cfg.Outputs)
 	r.saBest = make([]int, cfg.Outputs)
 	r.saCount = make([]int, cfg.Outputs)
+	// Scratch capacities are bounded by the request populations (every
+	// input VC at once for VA, one nomination per input for SA).
+	r.reqScratch = make([]vaReq, 0, cfg.Inputs*cfg.VCs)
+	r.reqSubset = make([]vaReq, 0, cfg.Inputs*cfg.VCs)
+	r.nomScratch = make([]nomination, 0, cfg.Inputs)
 	return r, nil
 }
 
@@ -243,6 +257,9 @@ func (r *Router) ConnectOutput(p int, link OutputLink) {
 	for v := range op.vcs {
 		op.vcs[v].credits = link.DownDepth
 	}
+	// At most every downstream buffer slot's credit can be in flight at
+	// once, so the pending list never regrows after this.
+	op.pendingCredits = make([]creditEntry, 0, link.DownVCs*link.DownDepth)
 }
 
 // SetInputCreditSink registers where credits for input port p's freed

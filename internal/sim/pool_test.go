@@ -76,3 +76,92 @@ func TestPoolWidthClamped(t *testing.T) {
 		t.Errorf("NewPool(-3).Workers() = %d, want 1", got)
 	}
 }
+
+func TestPoolEpochCoversEveryMemberExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		p := NewPool(workers)
+		visits := make([]int32, workers)
+		p.Epoch(func(id int) { atomic.AddInt32(&visits[id], 1) })
+		for id, v := range visits {
+			if v != 1 {
+				t.Errorf("workers=%d: member %d ran %d times", workers, id, v)
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestPoolBarrierPhases drives many barrier-separated phases through one
+// epoch and checks the barrier really is a full-width rendezvous: no
+// member may enter phase k+1 while another is still in phase k.
+func TestPoolBarrierPhases(t *testing.T) {
+	const phases = 200
+	for _, workers := range []int{2, 3, 4, 8} {
+		p := NewPool(workers)
+		var inPhase atomic.Int64 // sum of every member's current phase
+		p.Epoch(func(id int) {
+			for ph := 0; ph < phases; ph++ {
+				inPhase.Add(1)
+				p.Barrier()
+				// Between the two barriers every member must agree on the
+				// phase: the sum is exactly workers*(ph+1).
+				if got, want := inPhase.Load(), int64(workers)*int64(ph+1); got != want {
+					t.Errorf("workers=%d phase %d: progress sum %d, want %d", workers, ph, got, want)
+				}
+				p.Barrier()
+			}
+		})
+		p.Close()
+	}
+}
+
+// TestPoolEpochSerialSections checks the epoch idiom the core engine
+// relies on: plain (non-atomic) fields written by member 0 between
+// barriers are visible to every member after the next barrier.
+func TestPoolEpochSerialSections(t *testing.T) {
+	const rounds = 100
+	p := NewPool(4)
+	defer p.Close()
+	var shared int // written only by member 0 between barriers
+	errs := make([]int32, p.Workers())
+	p.Epoch(func(id int) {
+		for r := 1; r <= rounds; r++ {
+			if id == 0 {
+				shared = r
+			}
+			p.Barrier()
+			if shared != r {
+				atomic.AddInt32(&errs[id], 1)
+			}
+			p.Barrier()
+		}
+	})
+	for id, e := range errs {
+		if e != 0 {
+			t.Errorf("member %d saw %d stale serial-section values", id, e)
+		}
+	}
+}
+
+func TestPoolEpochNilAndClosed(t *testing.T) {
+	var nilPool *Pool
+	ran := 0
+	nilPool.Epoch(func(id int) {
+		ran++
+		nilPool.Barrier() // must be a no-op, not a deadlock
+	})
+	if ran != 1 {
+		t.Errorf("nil pool epoch ran %d times, want 1", ran)
+	}
+
+	p := NewPool(4)
+	p.Close()
+	ran = 0
+	p.Epoch(func(id int) {
+		ran++
+		p.Barrier()
+	})
+	if ran != 1 {
+		t.Errorf("closed pool epoch ran %d times, want 1", ran)
+	}
+}

@@ -20,6 +20,10 @@ type Process struct {
 	parked   chan struct{}
 	finished bool
 	started  bool
+	// resumeFn is the resume method bound once at spawn time; scheduling
+	// it instead of p.resume keeps Delay/Fire/Release from allocating a
+	// fresh method value on every call.
+	resumeFn func()
 }
 
 // SpawnProcess creates a process and schedules its first activation at
@@ -31,6 +35,7 @@ func (e *Engine) SpawnProcess(name string, body func(p *Process)) *Process {
 		wake:   make(chan struct{}),
 		parked: make(chan struct{}),
 	}
+	p.resumeFn = p.resume
 	e.procs[p] = struct{}{}
 	go func() {
 		if _, ok := <-p.wake; !ok { // wait for first activation
@@ -41,7 +46,7 @@ func (e *Engine) SpawnProcess(name string, body func(p *Process)) *Process {
 		delete(e.procs, p)
 		p.parked <- struct{}{}
 	}()
-	e.After(0, p.resume)
+	e.After(0, p.resumeFn)
 	return p
 }
 
@@ -85,7 +90,7 @@ func (p *Process) park() {
 // Delay blocks the process for d time units of virtual time. A zero
 // delay yields: other events at the current instant run first.
 func (p *Process) Delay(d Time) {
-	p.eng.After(d, p.resume)
+	p.eng.After(d, p.resumeFn)
 	p.park()
 }
 
@@ -176,17 +181,21 @@ func (s *Signal) enqueue(p *Process) { s.waiters = append(s.waiters, p) }
 // instant but after the firing context returns to the engine.
 func (s *Signal) Fire() {
 	s.fires++
-	ws := s.waiters
-	s.waiters = nil
-	for _, p := range ws {
-		s.eng.After(0, p.resume)
+	// After only schedules (nothing resumes inside these loops), so the
+	// backing arrays can be drained in place and kept for reuse — a
+	// signal that cycles between one waiter and none would otherwise
+	// allocate on every re-enqueue.
+	for _, p := range s.waiters {
+		s.eng.After(0, p.resumeFn)
 	}
-	tws := s.timed
-	s.timed = nil
-	for _, w := range tws {
+	clear(s.waiters)
+	s.waiters = s.waiters[:0]
+	for _, w := range s.timed {
 		// Claim the wake-up now so a deadline timer at this same instant
 		// sees a settled race; the resume itself is still deferred.
 		w.woken = true
-		s.eng.After(0, w.p.resume)
+		s.eng.After(0, w.p.resumeFn)
 	}
+	clear(s.timed)
+	s.timed = s.timed[:0]
 }

@@ -75,7 +75,7 @@ func (r *Resource) Release() {
 		copy(r.waiters, r.waiters[1:])
 		r.waiters = r.waiters[:len(r.waiters)-1]
 		r.acquisitions++
-		r.eng.After(0, next.resume)
+		r.eng.After(0, next.resumeFn)
 		return
 	}
 	r.inUse--
@@ -88,6 +88,16 @@ type Mailbox[T any] struct {
 	name  string
 	items []T
 	sig   *Signal
+	// free recycles in-flight PutAfter records (value + bound deliver
+	// closure) so the steady-state delayed-send path allocates nothing.
+	free []*mailFlight[T]
+}
+
+// mailFlight is one delayed message in flight: the value plus a deliver
+// closure built once and rescheduled on every reuse.
+type mailFlight[T any] struct {
+	v  T
+	fn func()
 }
 
 // NewMailbox creates an empty mailbox.
@@ -109,7 +119,23 @@ func (m *Mailbox[T]) Put(v T) {
 
 // PutAfter enqueues a message after a delay (a message in flight).
 func (m *Mailbox[T]) PutAfter(delay Time, v T) {
-	m.eng.After(delay, func() { m.Put(v) })
+	var e *mailFlight[T]
+	if n := len(m.free); n > 0 {
+		e = m.free[n-1]
+		m.free[n-1] = nil
+		m.free = m.free[:n-1]
+	} else {
+		e = &mailFlight[T]{}
+		e.fn = func() {
+			v := e.v
+			var zero T
+			e.v = zero
+			m.free = append(m.free, e)
+			m.Put(v)
+		}
+	}
+	e.v = v
+	m.eng.After(delay, e.fn)
 }
 
 // TryReceive dequeues the head message without blocking.
