@@ -9,6 +9,15 @@
 //	curl -s localhost:8080/v1/jobs/j000001
 //	curl -sN localhost:8080/v1/jobs/j000001/events
 //	curl -s -X DELETE localhost:8080/v1/jobs/j000001
+//	curl -s localhost:8080/metrics
+//
+// Observability: /metrics serves the Prometheus text exposition (job
+// throughput, queue wait and run-duration histograms, cache hit/miss,
+// queue depth, Go runtime stats); every request carries an
+// X-Request-Id and is logged as one structured JSON line on stderr
+// (disable with -log=false). An optional -admin-addr listener (keep it
+// on loopback) repeats /metrics and adds net/http/pprof under
+// /debug/pprof/.
 //
 // SIGINT/SIGTERM drain gracefully: intake stops (503), queued jobs are
 // cancelled, running jobs finish (or are cancelled at their next
@@ -20,6 +29,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -27,25 +37,33 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/prof"
 	"repro/internal/service"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
-		workers  = flag.Int("workers", 0, "concurrently running jobs (0 = GOMAXPROCS)")
-		queueCap = flag.Int("queue", 64, "jobs queued beyond the running ones before submissions get 503")
-		timeout  = flag.Duration("job-timeout", 0, "per-job wall-clock limit (0 = none)")
-		cacheCap = flag.Int("cache", 256, "content-addressed result cache entries (-1 disables)")
-		drainFor = flag.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM before running jobs are force-cancelled")
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		adminAddr = flag.String("admin-addr", "", "optional admin listen address serving /metrics and /debug/pprof/ (keep on loopback)")
+		workers   = flag.Int("workers", 0, "concurrently running jobs (0 = GOMAXPROCS)")
+		queueCap  = flag.Int("queue", 64, "jobs queued beyond the running ones before submissions get 503")
+		timeout   = flag.Duration("job-timeout", 0, "per-job wall-clock limit (0 = none)")
+		cacheCap  = flag.Int("cache", 256, "content-addressed result cache entries (-1 disables)")
+		drainFor  = flag.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM before running jobs are force-cancelled")
+		logOn     = flag.Bool("log", true, "structured JSON request/job logs on stderr")
 	)
 	flag.Parse()
 
+	var logger *slog.Logger
+	if *logOn {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 	srv := service.New(service.Options{
 		Workers:    *workers,
 		QueueCap:   *queueCap,
 		JobTimeout: *timeout,
 		CacheCap:   *cacheCap,
+		Logger:     logger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -55,6 +73,20 @@ func main() {
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	fmt.Printf("erapid-serve listening on http://%s (%d workers)\n", ln.Addr(), srv.Workers())
+
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		adminLn, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		mux := prof.AdminMux()
+		mux.Handle("GET /metrics", srv.MetricsHandler())
+		adminSrv = &http.Server{Handler: mux}
+		fmt.Printf("erapid-serve admin on http://%s (/metrics, /debug/pprof/)\n", adminLn.Addr())
+		go func() { _ = adminSrv.Serve(adminLn) }()
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
@@ -84,6 +116,9 @@ func main() {
 	defer cancelHTTP()
 	if err := httpSrv.Shutdown(httpCtx); err != nil {
 		_ = httpSrv.Close()
+	}
+	if adminSrv != nil {
+		_ = adminSrv.Close()
 	}
 	fmt.Fprintln(os.Stderr, "erapid-serve: stopped")
 }

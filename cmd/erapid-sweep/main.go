@@ -17,6 +17,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -30,18 +31,20 @@ import (
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "which figure to regenerate: 5, 6 or all")
-		patterns = flag.String("patterns", "", "comma-separated pattern list (overrides -figure)")
-		modes    = flag.String("modes", "NP-NB,P-NB,NP-B,P-B", "comma-separated mode list")
-		loads    = flag.String("loads", "", "comma-separated loads (default 0.1..0.9)")
-		csvPath  = flag.String("csv", "", "write full results as CSV to this file")
-		svgDir   = flag.String("svg", "", "write one SVG chart per (figure, metric) into this directory")
-		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS/run-workers)")
-		runWork  = flag.Int("run-workers", 1, "intra-run worker threads per simulation (board-sharded, bit-identical to 1)")
-		quick    = flag.Bool("quick", false, "shorter warm-up/measurement (coarser, ~5x faster)")
-		boards   = flag.Int("boards", 8, "boards B")
-		nodes    = flag.Int("nodes", 8, "nodes per board D")
-		seed     = flag.Uint64("seed", 1, "random seed")
+		figure    = flag.String("figure", "all", "which figure to regenerate: 5, 6 or all")
+		patterns  = flag.String("patterns", "", "comma-separated pattern list (overrides -figure)")
+		modes     = flag.String("modes", "NP-NB,P-NB,NP-B,P-B", "comma-separated mode list")
+		loads     = flag.String("loads", "", "comma-separated loads (default 0.1..0.9)")
+		csvPath   = flag.String("csv", "", "write full results as CSV to this file")
+		svgDir    = flag.String("svg", "", "write one SVG chart per (figure, metric) into this directory")
+		workers   = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS/run-workers)")
+		runWork   = flag.Int("run-workers", 1, "intra-run worker threads per simulation (board-sharded, bit-identical to 1)")
+		quick     = flag.Bool("quick", false, "shorter warm-up/measurement (coarser, ~5x faster)")
+		boards    = flag.Int("boards", 8, "boards B")
+		nodes     = flag.Int("nodes", 8, "nodes per board D")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		progress  = flag.Duration("progress-interval", 0, "minimum time between progress lines (0 = every point)")
+		phaseProf = flag.Bool("phase-profile", false, "profile per-worker phase times across all runs and print a shard-imbalance summary")
 	)
 	profFlags := prof.AddFlags()
 	flag.Parse()
@@ -99,17 +102,34 @@ func main() {
 	// done is a telemetry counter: sweep workers finish points
 	// concurrently, and the progress/ETA line is derived from it.
 	var done telemetry.Counter
+	// lastPrint throttles progress output to -progress-interval: a
+	// worker prints only when it wins the CAS from the stale timestamp,
+	// so concurrent finishers never double-print. The final point always
+	// prints.
+	var lastPrint atomic.Int64
+	var phaseAgg *core.PhaseAggregate
+	if *phaseProf {
+		phaseAgg = &core.PhaseAggregate{}
+	}
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "running %d simulations (%d patterns x %d modes x %d loads)...\n",
 		total, len(pats), len(ms), len(ls))
 	series, sweepErr := erapid.SweepContext(ctx, sweep.Request{
-		Base:     base,
-		Patterns: pats,
-		Modes:    ms,
-		Loads:    ls,
-		Workers:  sweepWorkers,
+		Base:         base,
+		Patterns:     pats,
+		Modes:        ms,
+		Loads:        ls,
+		Workers:      sweepWorkers,
+		PhaseProfile: phaseAgg,
 		OnResult: func(s sweep.Series, p sweep.Point) {
 			n := done.Inc()
+			if *progress > 0 && n < uint64(total) {
+				nowNs := time.Now().UnixNano()
+				last := lastPrint.Load()
+				if nowNs-last < int64(*progress) || !lastPrint.CompareAndSwap(last, nowNs) {
+					return
+				}
+			}
 			elapsed := time.Since(start)
 			var eta time.Duration
 			if rem := uint64(total) - n; n > 0 {
@@ -146,6 +166,11 @@ func main() {
 	}
 	fmt.Println()
 	report.Summary(os.Stdout, series)
+
+	if phaseAgg != nil {
+		fmt.Fprintf(os.Stderr, "\naggregated over %d runs:\n", phaseAgg.Runs())
+		core.FormatPhaseReport(os.Stderr, phaseAgg.Report())
+	}
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

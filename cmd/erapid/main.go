@@ -54,6 +54,9 @@ func main() {
 		eventsOut  = flag.String("events-out", "", "stream telemetry events as JSON Lines to this file")
 		perfetto   = flag.String("perfetto", "", "write a Chrome trace_event JSON (Perfetto-loadable) to this file")
 		dashboard  = flag.String("dashboard", "", "write a per-window HTML dashboard to this file")
+
+		phaseProf    = flag.Bool("phase-profile", false, "record per-worker, per-phase wall time and print a shard-imbalance report (bit-identical results)")
+		phaseProfOut = flag.String("phase-profile-out", "", "write the phase profiler's per-epoch series as JSON Lines (implies -phase-profile)")
 	)
 	profFlags := prof.AddFlags()
 	flag.Parse()
@@ -91,6 +94,7 @@ func main() {
 	cfg.MeasureCycles = *measure
 	cfg.DrainLimitCycles = *drain
 	cfg.Workers = *workers
+	cfg.PhaseProfile = *phaseProf || *phaseProfOut != ""
 	if *faults != "" {
 		spec, err := erapid.LoadFaultSpec(*faults)
 		if err != nil {
@@ -168,6 +172,19 @@ func main() {
 		}
 	}
 	printResult(res, cfg)
+	if pp := sys.PhaseProfile(); pp != nil {
+		fmt.Fprintln(os.Stderr)
+		core.FormatPhaseReport(os.Stderr, pp.Report())
+		if *phaseProfOut != "" {
+			if err := writeFile(*phaseProfOut, func(f *os.File) error {
+				return pp.Registry().WriteMetricsJSONL(f)
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, "wrote", *phaseProfOut)
+		}
+	}
 	if stageRec != nil {
 		fmt.Println("\nLock-Step protocol trace (cycle, board, stage):")
 		for _, ev := range stageRec.Events() {

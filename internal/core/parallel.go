@@ -225,26 +225,36 @@ func (s *System) commitCycle(now uint64) {
 // 1' — stepHead only touches engine/fault/measurement state no compute
 // phase reads, so running it immediately after commit is the serial
 // order.
+// Profiling hooks (pp.start/add*/barrier) are nil-receiver no-ops when
+// Config.PhaseProfile is off — the disabled cost is a handful of
+// predicted nil-check branches per cycle and zero allocations, and
+// pp.barrier degenerates to exactly pool.Barrier().
 func (s *System) epochBody(id int) {
 	par := s.par
+	pp := s.phaseProf
 	lo, hi := par.shardLo[id], par.shardHi[id]
 	now := par.now
 	if id == 0 {
+		t0 := pp.start()
 		s.stepHead(now)
+		pp.addSerial(id, t0)
 		par.computing = true
 	}
-	par.pool.Barrier()
+	pp.barrier(par.pool, id)
 	for {
 		// Compute phase A: injector draws.
+		t0 := pp.start()
 		for bi := lo; bi < hi; bi++ {
 			s.drawBoard(bi)
 		}
-		par.pool.Barrier()
+		pp.addDraw(id, t0)
+		pp.barrier(par.pool, id)
 		if id == 0 {
 			// Serial middle: admit packets in global node order (contiguous
 			// ascending board shards keep each outbox in node order, so
 			// draining boards in order reproduces the serial injectAll
 			// sequence).
+			t0 := pp.start()
 			par.computing = false
 			for bi := range par.outboxes {
 				ob := &par.outboxes[bi]
@@ -254,14 +264,18 @@ func (s *System) epochBody(id int) {
 			}
 			par.computing = true
 			s.fab.BeginBoardTick()
+			pp.addSerial(id, t0)
 		}
-		par.pool.Barrier()
+		pp.barrier(par.pool, id)
 		// Compute phase B: board-local ticking, shared effects deferred.
+		t0 = pp.start()
 		for bi := lo; bi < hi; bi++ {
 			s.tickBoardCompute(bi, now)
 		}
-		par.pool.Barrier()
+		pp.addTick(id, t0)
+		pp.barrier(par.pool, id)
 		if id == 0 {
+			t0 := pp.start()
 			par.computing = false
 			s.commitCycle(now)
 			par.now = now + 1
@@ -270,8 +284,9 @@ func (s *System) epochBody(id int) {
 				s.stepHead(par.now)
 				par.computing = true
 			}
+			pp.addSerial(id, t0)
 		}
-		par.pool.Barrier()
+		pp.barrier(par.pool, id)
 		if par.stop {
 			return
 		}
@@ -288,5 +303,8 @@ func (s *System) stepEpoch(n uint64) uint64 {
 	par.stop = false
 	par.pool.Epoch(par.body)
 	s.nextCycle = par.now
+	// The Epoch join happens-before this flush, so the workers' phase
+	// accumulators are visible here (nil-safe no-op when profiling off).
+	s.phaseProf.flush(par.now)
 	return par.now - 1
 }

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestPhaseProfileDeterminism runs the same configuration with the
+// profiler off and on (serial and parallel) and asserts (a) the
+// Results are bit-identical — the profiler must never perturb the
+// simulation — and (b) the profiler's series exist, cover every
+// flushed epoch/window, and are monotone (they accumulate).
+func TestPhaseProfileDeterminism(t *testing.T) {
+	cfg := fastConfig(PB)
+	cfg.Pattern = "complement"
+	cfg.Load = 0.5
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		c := cfg
+		c.Workers = workers
+		c.PhaseProfile = true
+		s, err := NewSystem(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantWorkers := s.Workers() // before RunContext closes the pool
+		res, err := s.RunContext(t.Context())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, res) {
+			t.Errorf("workers=%d: profiled Result differs from unprofiled serial run", workers)
+		}
+		pp := s.PhaseProfile()
+		if pp == nil {
+			t.Fatalf("workers=%d: PhaseProfile() is nil with Config.PhaseProfile set", workers)
+		}
+		rep := pp.Report()
+		if rep.Epochs == 0 || rep.Cycles == 0 {
+			t.Fatalf("workers=%d: nothing profiled: %+v", workers, rep)
+		}
+		if got := len(rep.Workers); got != wantWorkers {
+			t.Fatalf("workers=%d: report has %d workers, system has %d", workers, got, wantWorkers)
+		}
+		boards := 0
+		for _, w := range rep.Workers {
+			boards += w.Boards
+		}
+		if boards != c.Boards {
+			t.Errorf("workers=%d: shard widths sum to %d boards, want %d", workers, boards, c.Boards)
+		}
+		reg := pp.Registry()
+		marks := len(reg.Windows())
+		if marks == 0 {
+			t.Fatalf("workers=%d: no flushed windows", workers)
+		}
+		for _, name := range reg.SeriesNames() {
+			ts := reg.Lookup(name)
+			if ts.Len() != marks {
+				t.Errorf("workers=%d: series %s has %d samples, want %d", workers, name, ts.Len(), marks)
+			}
+			vals := ts.Values()
+			for i := 1; i < len(vals); i++ {
+				if vals[i] < vals[i-1] {
+					t.Errorf("workers=%d: series %s not monotone at %d: %v < %v",
+						workers, name, i, vals[i], vals[i-1])
+					break
+				}
+			}
+		}
+		// The shard-proportional phases must have recorded real time on
+		// every worker.
+		for _, w := range rep.Workers {
+			if w.ComputeNS() <= 0 {
+				t.Errorf("workers=%d: worker %d recorded no compute time", workers, w.Worker)
+			}
+		}
+		if workers > 1 {
+			// Non-zero workers wait out worker 0's serial sections, so
+			// their barrier time cannot be zero on a real run.
+			for _, w := range rep.Workers[1:] {
+				if w.BarrierNS <= 0 {
+					t.Errorf("workers=%d: worker %d recorded no barrier time", workers, w.Worker)
+				}
+			}
+		}
+	}
+}
+
+// TestPhaseProfileOffNoAllocs asserts the profiler's disabled path
+// (the default) keeps the steady-state cycle loop allocation-free —
+// the same invariant TestTelemetryOffStepNoAllocs holds for the
+// telemetry layer, now with the phase hooks compiled into the step.
+func TestPhaseProfileOffNoAllocs(t *testing.T) {
+	cfg := fastConfig(PB)
+	cfg.Load = 0.5
+	// Stay in the warm-up phase for the whole test: measurement-phase
+	// latency sampling appends to a growing slice by design.
+	cfg.WarmupCycles = 1 << 30
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PhaseProfile() != nil {
+		t.Fatal("profiler enabled without Config.PhaseProfile")
+	}
+	// Controllers stay un-started: RC processes allocate protocol
+	// messages at window boundaries, outside the per-cycle path.
+	for i := 0; i < 20000; i++ {
+		s.Step()
+	}
+	allocs := testing.AllocsPerRun(2000, func() { s.Step() })
+	if allocs != 0 {
+		t.Errorf("phase-profile-off Step allocates %.2f/op, want 0", allocs)
+	}
+}
+
+// TestPhaseProfileOnStepNoAllocs pins the enabled steady-state cost:
+// the accumulators are fixed arrays and the flush pushes into
+// preallocated rings, so even the profiled cycle loop allocates
+// nothing between window boundaries.
+func TestPhaseProfileOnStepNoAllocs(t *testing.T) {
+	cfg := fastConfig(PB)
+	cfg.Load = 0.5
+	cfg.WarmupCycles = 1 << 30
+	cfg.PhaseProfile = true
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		s.Step()
+	}
+	allocs := testing.AllocsPerRun(2000, func() { s.Step() })
+	if allocs != 0 {
+		t.Errorf("phase-profile-on Step allocates %.2f/op, want 0", allocs)
+	}
+}
+
+func TestPhaseAggregate(t *testing.T) {
+	var agg PhaseAggregate
+	agg.Add(PhaseReport{
+		Epochs: 2, Cycles: 1000,
+		Workers: []PhaseWorkerStats{
+			{Worker: 0, Boards: 2, DrawNS: 10, TickNS: 30, BarrierNS: 5, SerialNS: 20},
+			{Worker: 1, Boards: 2, DrawNS: 12, TickNS: 28, BarrierNS: 9},
+		},
+	})
+	agg.Add(PhaseReport{
+		Epochs: 3, Cycles: 1500,
+		Workers: []PhaseWorkerStats{
+			{Worker: 0, Boards: 2, DrawNS: 1, TickNS: 1, BarrierNS: 1, SerialNS: 1},
+		},
+	})
+	if agg.Runs() != 2 {
+		t.Fatalf("runs = %d", agg.Runs())
+	}
+	r := agg.Report()
+	if r.Epochs != 5 || r.Cycles != 2500 {
+		t.Fatalf("merged epochs/cycles = %d/%d", r.Epochs, r.Cycles)
+	}
+	if len(r.Workers) != 2 || r.Workers[0].Worker != 0 || r.Workers[1].Worker != 1 {
+		t.Fatalf("merged workers = %+v", r.Workers)
+	}
+	if r.Workers[0].DrawNS != 11 || r.Workers[0].TickNS != 31 {
+		t.Fatalf("worker 0 totals = %+v", r.Workers[0])
+	}
+	if im := r.Imbalance(); im <= 1 {
+		t.Fatalf("imbalance = %v, want > 1 for uneven shards", im)
+	}
+
+	var buf strings.Builder
+	FormatPhaseReport(&buf, r)
+	out := buf.String()
+	for _, want := range []string{"2 workers", "shard imbalance", "barrier-wait fraction", "serial fraction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	var empty strings.Builder
+	FormatPhaseReport(&empty, PhaseReport{})
+	if !strings.Contains(empty.String(), "no data") {
+		t.Errorf("empty report = %q", empty.String())
+	}
+}

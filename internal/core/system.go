@@ -72,6 +72,10 @@ type System struct {
 	sinks []telemetry.Sink
 	// telemetry is the per-window metrics collector (EnableTelemetry).
 	telemetry *Telemetry
+	// phaseProf records per-worker phase/barrier wall time; nil unless
+	// Config.PhaseProfile — the nil check is the entire disabled cost
+	// (see phaseprof.go).
+	phaseProf *PhaseProfile
 	// lastPhase tracks measurement phase transitions for PhaseChange
 	// events (-1 = none emitted yet).
 	lastPhase int
@@ -145,6 +149,10 @@ func NewSystem(cfg Config) (*System, error) {
 	s.pktBlock = flit.NewBlock((&flit.Packet{Size: cfg.PacketBytes, FlitBytes: cfg.FlitBytes}).Flits())
 	if cfg.Workers > 1 {
 		s.enableParallel(cfg.Workers)
+	}
+	if cfg.PhaseProfile {
+		// After enableParallel: the profiler snapshots the shard layout.
+		s.enablePhaseProfile()
 	}
 	return s, nil
 }
@@ -435,12 +443,18 @@ func (s *System) stepHead(now uint64) {
 // systems step through stepEpoch instead (Step and RunContext
 // dispatch).
 func (s *System) step(now uint64) {
+	pp := s.phaseProf
+	t0 := pp.start()
 	s.stepHead(now)
+	pp.addSerial(0, t0)
+	t0 = pp.start()
 	s.injectAll(now)
+	pp.addDraw(0, t0)
 	// Active-set scheduling: visit components in the same deterministic
 	// order as the exhaustive scan, skipping the ones that provably have
 	// nothing to do this cycle (HasWork is O(1) on maintained counters; a
 	// workless component's Tick is a no-op, so skipping changes nothing).
+	t0 = pp.start()
 	for _, nic := range s.nics {
 		if nic.HasWork() {
 			nic.Tick(now)
@@ -457,11 +471,17 @@ func (s *System) step(now uint64) {
 		}
 	}
 	s.fab.Tick(now)
+	pp.addTick(0, t0)
+	t0 = pp.start()
 	if s.history != nil {
 		s.history.observe(now)
 	}
 	if s.telemetry != nil {
 		s.telemetry.observe(now)
+	}
+	pp.addSerial(0, t0)
+	if pp != nil && (now+1)%pp.window == 0 {
+		pp.flush(now + 1)
 	}
 	s.cycle = now
 }

@@ -6,9 +6,11 @@ package prof
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
-	"runtime/pprof"
+	rtpprof "runtime/pprof"
 )
 
 // Flags holds the -cpuprofile/-memprofile flag values.
@@ -37,14 +39,14 @@ func (f *Flags) Start() (stop func(), err error) {
 		if err != nil {
 			return nil, fmt.Errorf("cpuprofile: %w", err)
 		}
-		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+		if err := rtpprof.StartCPUProfile(cpuFile); err != nil {
 			cpuFile.Close()
 			return nil, fmt.Errorf("cpuprofile: %w", err)
 		}
 	}
 	return func() {
 		if cpuFile != nil {
-			pprof.StopCPUProfile()
+			rtpprof.StopCPUProfile()
 			cpuFile.Close()
 		}
 		if *f.mem != "" {
@@ -55,9 +57,24 @@ func (f *Flags) Start() (stop func(), err error) {
 			}
 			defer mf.Close()
 			runtime.GC() // materialize up-to-date allocation stats
-			if err := pprof.WriteHeapProfile(mf); err != nil {
+			if err := rtpprof.WriteHeapProfile(mf); err != nil {
 				fmt.Fprintln(os.Stderr, "memprofile:", err)
 			}
 		}
 	}, nil
+}
+
+// AdminMux returns a mux serving the net/http/pprof endpoints under
+// /debug/pprof/, for a daemon's loopback admin listener. Handlers are
+// registered explicitly rather than through the package's
+// DefaultServeMux init side effect, so importing prof never exposes
+// profiling on an application mux by accident.
+func AdminMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -53,6 +53,12 @@ func writeError(w http.ResponseWriter, status int, err error) {
 //	                            with Accept: text/event-stream; ?kinds=
 //	                            filters by event kind name)
 //	GET    /v1/healthz          liveness and capacity
+//	GET    /metrics             Prometheus text exposition
+//
+// Every request is instrumented: it gets (or keeps) an X-Request-Id,
+// shows up in erapid_http_requests_total / erapid_http_request_seconds
+// under its route pattern, and — when Options.Logger is set — emits
+// one structured JSON log line.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
@@ -62,7 +68,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	return mux
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.instrument(mux)
 }
 
 // readBody reads the request body under the configured size bound.
@@ -108,7 +115,7 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	view, err := s.SubmitRun(cfg)
+	view, err := s.submitRun(cfg, RequestIDFrom(r.Context()))
 	if err != nil {
 		writeSubmitError(w, err)
 		return
@@ -195,12 +202,12 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	view, err := s.SubmitSweep(sweep.Request{
+	view, err := s.submitSweep(sweep.Request{
 		Base:     cfg,
 		Patterns: doc.Patterns,
 		Modes:    modes,
 		Loads:    doc.Loads,
-	})
+	}, RequestIDFrom(r.Context()))
 	if err != nil {
 		writeSubmitError(w, err)
 		return
@@ -303,11 +310,17 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	stop := context.AfterFunc(r.Context(), log.wake)
 	defer stop()
 
+	s.metrics.streamsActive.Add(1)
+	defer s.metrics.streamsActive.Add(-1)
+
 	var from uint64
 	buf := make([]telemetry.Event, 0, 512)
 	line := make([]byte, 0, 256)
 	for {
-		batch, resume, _, closed := log.next(from, buf)
+		batch, resume, skipped, closed := log.next(from, buf)
+		if skipped > 0 {
+			s.metrics.streamSkipped.Add(skipped)
+		}
 		if r.Context().Err() != nil {
 			return
 		}

@@ -48,6 +48,10 @@ type Job struct {
 	sweepReq   sweep.Request
 	sweepTotal int
 
+	// requestID ties the job to the HTTP request that submitted it
+	// (empty for programmatic submissions).
+	requestID string
+
 	submittedAt time.Time
 	startedAt   time.Time
 	finishedAt  time.Time
@@ -80,6 +84,9 @@ type JobView struct {
 	Cached bool `json:"cached,omitempty"`
 	// DedupeOf names the in-flight job this submission deduped onto.
 	DedupeOf string `json:"dedupe_of,omitempty"`
+	// RequestID echoes the X-Request-Id of the submitting HTTP request,
+	// tying the job to the server's request log.
+	RequestID string `json:"request_id,omitempty"`
 	// ConfigDigest is the canonical config content address (run jobs).
 	ConfigDigest string `json:"config_digest,omitempty"`
 	// ResultDigest is the SHA-256 of the serialized result; two runs of
@@ -107,6 +114,7 @@ func (j *Job) snapshot() JobView {
 		State:        j.state,
 		Cached:       j.cached,
 		DedupeOf:     j.dedupeOf,
+		RequestID:    j.requestID,
 		ConfigDigest: j.configDigest,
 		ResultDigest: j.resultDigest,
 		SubmittedAt:  j.submittedAt,

@@ -1,0 +1,100 @@
+// HTTP instrumentation: request IDs, structured JSON request logs and
+// per-route latency/status metrics, applied as one middleware around
+// the API mux.
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// ctxKey avoids collisions in context values.
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// requestIDHeader carries the request ID on requests and responses.
+// Clients may supply their own; the server generates one otherwise.
+const requestIDHeader = "X-Request-Id"
+
+// RequestIDFrom returns the request ID threaded through ctx by the
+// instrumentation middleware, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// statusWriter observes the status code and body size of a response.
+// It passes http.Flusher through so SSE/NDJSON streaming keeps working
+// behind the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps the API mux with request-ID assignment, per-route
+// metrics and (when Options.Logger is set) one structured log line per
+// request. The route label is the mux pattern that will serve the
+// request (resolved before dispatch), so metric cardinality stays
+// bounded by the route table, not by URL contents.
+func (s *Server) instrument(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		_, route := mux.Handler(r)
+		if route == "" {
+			route = "unmatched"
+		}
+
+		reqID := r.Header.Get(requestIDHeader)
+		if reqID == "" {
+			reqID = fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+		}
+		w.Header().Set(requestIDHeader, reqID)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, reqID))
+
+		sw := &statusWriter{ResponseWriter: w}
+		mux.ServeHTTP(sw, r)
+
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		elapsed := time.Since(t0)
+		s.metrics.httpRequest(route, sw.status, elapsed.Seconds())
+		if s.log != nil {
+			s.log.Info("http",
+				"request_id", reqID,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"route", route,
+				"status", sw.status,
+				"bytes", sw.bytes,
+				"duration_ms", float64(elapsed.Microseconds())/1000,
+			)
+		}
+	})
+}

@@ -35,8 +35,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -63,6 +65,9 @@ type Options struct {
 	EventCap int
 	// MaxBody bounds request bodies in bytes; 0 means 1 MiB.
 	MaxBody int64
+	// Logger, when set, receives one structured log line per HTTP
+	// request and per job lifecycle transition. nil disables logging.
+	Logger *slog.Logger
 }
 
 // withDefaults resolves zero values.
@@ -97,7 +102,10 @@ type Server struct {
 	// GOMAXPROCS/W run slots so the products stay near the core count.
 	sweepWorkers int
 
-	cache *resultCache
+	cache   *resultCache
+	log     *slog.Logger
+	metrics *serverMetrics
+	reqSeq  atomic.Uint64 // generated request-ID sequence
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -123,6 +131,8 @@ func New(opts Options) *Server {
 		opts:         opts,
 		sweepWorkers: max(1, runtime.GOMAXPROCS(0)/opts.Workers),
 		cache:        newResultCache(opts.CacheCap),
+		log:          opts.Logger,
+		metrics:      newServerMetrics(opts.Workers),
 		jobs:         make(map[string]*Job),
 		inflight:     make(map[string]*Job),
 		queue:        make(chan *Job, opts.QueueCap),
@@ -160,10 +170,18 @@ func (s *Server) newJobLocked(kind string) *Job {
 // in-flight job. The error is errServerClosed or errQueueFull mapped
 // by the HTTP layer; the config must already be validated.
 func (s *Server) SubmitRun(cfg core.Config) (JobView, error) {
+	return s.submitRun(cfg, "")
+}
+
+// submitRun is SubmitRun carrying the originating request ID (empty
+// for programmatic submissions).
+func (s *Server) submitRun(cfg core.Config, reqID string) (JobView, error) {
+	m := s.metrics
 	digest := cfg.Digest()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
+		m.rejected["draining"].Inc()
 		return JobView{}, errServerClosed
 	}
 
@@ -172,6 +190,7 @@ func (s *Server) SubmitRun(cfg core.Config) (JobView, error) {
 		j := s.newJobLocked("run")
 		j.cfg = cfg
 		j.configDigest = digest
+		j.requestID = reqID
 		j.cached = true
 		j.state = StateDone
 		j.startedAt = j.submittedAt
@@ -179,23 +198,33 @@ func (s *Server) SubmitRun(cfg core.Config) (JobView, error) {
 		j.resultJSON = e.resultJSON
 		j.resultDigest = e.resultDigest
 		close(j.done)
+		m.submitted["run"].Inc()
+		m.cacheHits.Inc()
+		m.completed[StateDone].Inc()
+		s.logJob(j, "job cached")
 		return j.snapshot(), nil
 	}
+	m.cacheMisses.Inc()
 
 	if primary := s.inflight[digest]; primary != nil {
 		// Same config already queued or running: ride that simulation.
 		j := s.newJobLocked("run")
 		j.cfg = cfg
 		j.configDigest = digest
+		j.requestID = reqID
 		j.dedupeOf = primary.id
 		j.events = primary.events
 		primary.followers = append(primary.followers, j)
+		m.submitted["run"].Inc()
+		m.deduped.Inc()
+		s.logJob(j, "job deduped")
 		return j.snapshot(), nil
 	}
 
 	j := s.newJobLocked("run")
 	j.cfg = cfg
 	j.configDigest = digest
+	j.requestID = reqID
 	j.events = newEventLog(s.opts.EventCap)
 	select {
 	case s.queue <- j:
@@ -203,9 +232,12 @@ func (s *Server) SubmitRun(cfg core.Config) (JobView, error) {
 		delete(s.jobs, j.id)
 		s.order = s.order[:len(s.order)-1]
 		j.cancel()
+		m.rejected["queue_full"].Inc()
 		return JobView{}, errQueueFull
 	}
 	s.inflight[digest] = j
+	m.submitted["run"].Inc()
+	s.logJob(j, "job queued")
 	return j.snapshot(), nil
 }
 
@@ -213,14 +245,22 @@ func (s *Server) SubmitRun(cfg core.Config) (JobView, error) {
 // base config). Sweeps are not content-cached; their runs parallelize
 // under the server's GOMAXPROCS budget.
 func (s *Server) SubmitSweep(req sweep.Request) (JobView, error) {
+	return s.submitSweep(req, "")
+}
+
+// submitSweep is SubmitSweep carrying the originating request ID.
+func (s *Server) submitSweep(req sweep.Request, reqID string) (JobView, error) {
+	m := s.metrics
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
+		m.rejected["draining"].Inc()
 		return JobView{}, errServerClosed
 	}
 	j := s.newJobLocked("sweep")
 	j.sweepReq = req
 	j.sweepTotal = len(req.Patterns) * len(req.Modes) * len(req.Loads)
+	j.requestID = reqID
 	j.events = newEventLog(s.opts.EventCap)
 	select {
 	case s.queue <- j:
@@ -228,9 +268,27 @@ func (s *Server) SubmitSweep(req sweep.Request) (JobView, error) {
 		delete(s.jobs, j.id)
 		s.order = s.order[:len(s.order)-1]
 		j.cancel()
+		m.rejected["queue_full"].Inc()
 		return JobView{}, errQueueFull
 	}
+	m.submitted["sweep"].Inc()
+	s.logJob(j, "job queued")
 	return j.snapshot(), nil
+}
+
+// logJob emits one structured lifecycle line for a job; nil-logger
+// safe. The small fixed attribute set keeps every line grep-able by
+// job id and joinable to the HTTP log by request id.
+func (s *Server) logJob(j *Job, msg string, extra ...any) {
+	if s.log == nil {
+		return
+	}
+	attrs := []any{"job", j.id, "kind", j.kind, "state", string(j.state)}
+	if j.requestID != "" {
+		attrs = append(attrs, "request_id", j.requestID)
+	}
+	attrs = append(attrs, extra...)
+	s.log.Info(msg, attrs...)
 }
 
 // Job returns the snapshot of one job.
@@ -324,6 +382,7 @@ func (s *Server) worker() {
 
 // runJob executes one queued job to a terminal state.
 func (s *Server) runJob(j *Job) {
+	m := s.metrics
 	s.mu.Lock()
 	if j.state != StateQueued {
 		// Cancelled while waiting in the channel.
@@ -332,7 +391,12 @@ func (s *Server) runJob(j *Job) {
 	}
 	j.state = StateRunning
 	j.startedAt = time.Now()
+	wait := j.startedAt.Sub(j.submittedAt)
+	s.logJob(j, "job started", "queue_wait_ms", float64(wait.Microseconds())/1000)
 	s.mu.Unlock()
+	m.queueWait.Observe(wait.Seconds())
+	m.running.Add(1)
+	defer m.running.Add(-1)
 
 	ctx := j.runCtx
 	if s.opts.JobTimeout > 0 {
@@ -390,7 +454,13 @@ func (s *Server) runJob(j *Job) {
 		})
 	}
 	s.finishLocked(j, state, resultJSON, resultDigest, errMsg, partial)
+	elapsed := j.finishedAt.Sub(j.startedAt)
+	s.logJob(j, "job finished",
+		"run_ms", float64(elapsed.Microseconds())/1000, "error", errMsg)
 	s.mu.Unlock()
+	if h := m.runSeconds[j.kind]; h != nil {
+		h.Observe(elapsed.Seconds())
+	}
 }
 
 // finishLocked moves a job (and its deduped followers) to a terminal
@@ -401,6 +471,9 @@ func (s *Server) finishLocked(j *Job, state JobState, resultJSON json.RawMessage
 	}
 	j.state = state
 	j.finishedAt = time.Now()
+	if c := s.metrics.completed[state]; c != nil {
+		c.Inc()
+	}
 	j.resultJSON = resultJSON
 	j.resultDigest = resultDigest
 	j.partial = partial

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Pool is a fixed crew of worker goroutines for board-sharded cycle
@@ -221,6 +222,20 @@ func (p *Pool) Barrier() {
 	}
 	p.sleepers.Add(-1)
 	p.mu.Unlock()
+}
+
+// TimedBarrier is Barrier plus a wall-clock measurement: it returns
+// the nanoseconds this member spent waiting at the rendezvous (zero
+// for a nil or width-1 pool, which does not wait). It is the profiling
+// variant the core phase profiler calls when enabled; the plain
+// Barrier stays free of time syscalls for the profiler-off hot path.
+func (p *Pool) TimedBarrier() int64 {
+	if p == nil || p.workers <= 1 {
+		return 0
+	}
+	t0 := time.Now()
+	p.Barrier()
+	return int64(time.Since(t0))
 }
 
 // Close releases the pool's helper goroutines. A closed pool still

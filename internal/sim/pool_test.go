@@ -165,3 +165,41 @@ func TestPoolEpochNilAndClosed(t *testing.T) {
 		t.Errorf("closed pool epoch ran %d times, want 1", ran)
 	}
 }
+
+// TestPoolTimedBarrier checks the profiling barrier variant: it must
+// synchronize exactly like Barrier (full-width rendezvous) while
+// returning a non-negative wait, zero on degenerate pools.
+func TestPoolTimedBarrier(t *testing.T) {
+	var nilPool *Pool
+	if ns := nilPool.TimedBarrier(); ns != 0 {
+		t.Errorf("nil pool TimedBarrier = %d, want 0", ns)
+	}
+	one := NewPool(1)
+	if ns := one.TimedBarrier(); ns != 0 {
+		t.Errorf("width-1 pool TimedBarrier = %d, want 0", ns)
+	}
+	one.Close()
+
+	const phases = 50
+	for _, workers := range []int{2, 4} {
+		p := NewPool(workers)
+		var inPhase atomic.Int64
+		waits := make([]int64, workers)
+		p.Epoch(func(id int) {
+			for ph := 0; ph < phases; ph++ {
+				inPhase.Add(1)
+				waits[id] += p.TimedBarrier()
+				if got, want := inPhase.Load(), int64(workers)*int64(ph+1); got != want {
+					t.Errorf("workers=%d phase %d: progress sum %d, want %d", workers, ph, got, want)
+				}
+				p.Barrier()
+			}
+		})
+		for id, ns := range waits {
+			if ns < 0 {
+				t.Errorf("workers=%d: member %d accumulated negative wait %d", workers, id, ns)
+			}
+		}
+		p.Close()
+	}
+}

@@ -69,6 +69,11 @@ type Request struct {
 	// nil — other workers are still writing the shared points array, so a
 	// snapshot cannot be passed without copying under the lock.
 	OnResult func(Series, Point)
+	// PhaseProfile, if set, enables the engine's phase profiler on every
+	// run (Results stay bit-identical) and merges each run's per-worker
+	// phase report into the aggregate for a sweep-wide load-imbalance
+	// summary.
+	PhaseProfile *core.PhaseAggregate
 }
 
 // Run executes the sweep and returns one series per (pattern, mode), in
@@ -134,7 +139,7 @@ func RunContext(ctx context.Context, req Request) ([]Series, error) {
 				cfg.Mode = s.Mode
 				cfg.Pattern = s.Pattern
 				cfg.Load = j.load
-				res, err := core.RunContext(ctx, cfg)
+				res, err := runPoint(ctx, cfg, req.PhaseProfile)
 				pt := Point{Load: j.load, Result: res, Err: err}
 				mu.Lock()
 				s.Points[j.pi] = pt
@@ -170,6 +175,27 @@ dispatch:
 		}
 	}
 	return series, errors.Join(Errs(series)...)
+}
+
+// runPoint executes one sweep point, routing the run through an
+// explicit System when phase profiling is requested so the profiler's
+// report can be merged into the aggregate. PhaseProfile is excluded
+// from the config's canonical digest, so profiled and unprofiled runs
+// of the same point stay interchangeable.
+func runPoint(ctx context.Context, cfg core.Config, agg *core.PhaseAggregate) (*core.Result, error) {
+	if agg == nil {
+		return core.RunContext(ctx, cfg)
+	}
+	cfg.PhaseProfile = true
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sys.RunContext(ctx)
+	if pp := sys.PhaseProfile(); pp != nil {
+		agg.Add(pp.Report())
+	}
+	return res, err
 }
 
 // Errs collects the errors across all points of all series.

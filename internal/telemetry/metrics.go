@@ -35,6 +35,17 @@ type Gauge struct {
 // Set stores v.
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
+// Add atomically adds delta (which may be negative) to the gauge.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
 // Value returns the stored value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
@@ -107,7 +118,9 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	series   map[string]*TimeSeries
-	order    []string // series creation order, for stable output
+	hists    map[string]*Histogram
+	help     map[string]string // metric family → HELP text (Prometheus)
+	order    []string          // series creation order, for stable output
 	marks    []WindowMark
 	markNext int
 	markFull bool
@@ -124,6 +137,8 @@ func NewRegistry(seriesCap int) *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		series:   make(map[string]*TimeSeries),
+		hists:    make(map[string]*Histogram),
+		help:     make(map[string]string),
 		marks:    make([]WindowMark, seriesCap),
 	}
 }
@@ -150,6 +165,31 @@ func (r *Registry) Gauge(name string) *Gauge {
 		r.gauges[name] = g
 	}
 	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds if needed. The buckets of an existing histogram
+// are not changed; bounds must be sorted ascending.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		h = &Histogram{name: name, bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// SetHelp records the Prometheus HELP text for a metric family (the
+// name before any label block). WritePrometheus emits it; families
+// without help get only a TYPE line.
+func (r *Registry) SetHelp(family, text string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[family] = text
 }
 
 // Series returns the named time series, creating it (with the given

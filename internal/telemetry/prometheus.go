@@ -1,0 +1,281 @@
+// Prometheus text exposition (format 0.0.4) for a Registry, dependency
+// free. Metrics carry their labels embedded in the registered name —
+// `jobs_total{kind="run"}` — so the Registry needs no separate label
+// API: the encoder splits each name at the first '{' into a family and
+// a label block, groups samples by family (one HELP/TYPE header each),
+// and splices the `le` label into histogram bucket names. TimeSeries
+// are a per-window engine concept and are not exported here.
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromName builds a metric name with an embedded label block from
+// key/value pairs: PromName("jobs_total", "kind", "run") returns
+// `jobs_total{kind="run"}`. Label values are escaped per the
+// exposition format (backslash, double quote, newline); keys must be
+// valid label names. With no pairs it returns family unchanged.
+func PromName(family string, kv ...string) string {
+	if len(kv) == 0 {
+		return family
+	}
+	if len(kv)%2 != 0 {
+		panic("telemetry: PromName needs key/value pairs")
+	}
+	var b strings.Builder
+	b.WriteString(family)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the text exposition
+// format: backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP text: backslash and newline only (quotes
+// are legal there).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// sanitizeFamily maps an arbitrary family name onto the metric name
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeFamily(name string) string {
+	ok := true
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		valid := c == '_' || c == ':' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			('0' <= c && c <= '9' && i > 0)
+		if !valid {
+			ok = false
+			break
+		}
+	}
+	if ok && name != "" {
+		return name
+	}
+	b := []byte(name)
+	for i, c := range b {
+		valid := c == '_' || c == ':' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			('0' <= c && c <= '9')
+		if !valid {
+			b[i] = '_'
+		}
+	}
+	if len(b) == 0 || ('0' <= b[0] && b[0] <= '9') {
+		b = append([]byte{'_'}, b...)
+	}
+	return string(b)
+}
+
+// splitName separates a registered name into its sanitized family and
+// the verbatim label block ("" or `{...}`).
+func splitName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return sanitizeFamily(name[:i]), name[i:]
+	}
+	return sanitizeFamily(name), ""
+}
+
+// spliceLabel inserts one key="value" pair into a label block,
+// producing `{kv}` from “ and `{a="b",kv}` from `{a="b"}`.
+func spliceLabel(labels, key, value string) string {
+	pair := key + `="` + value + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// promSample is one exposition line: full sample name and rendered
+// value.
+type promSample struct {
+	name  string
+	value string
+}
+
+// promFamily groups one family's samples under a single HELP/TYPE
+// header.
+type promFamily struct {
+	name    string
+	typ     string // "counter", "gauge", "histogram", "untyped"
+	samples []promSample
+	// sorted marks families whose samples should be emitted in name
+	// order; histogram samples keep their bucket order instead.
+	sorted bool
+}
+
+// formatLe renders a bucket bound for the le label.
+func formatLe(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatValue renders a float sample value.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return string(appendFloat(nil, v))
+}
+
+// WritePrometheus renders the registry's counters, gauges and
+// histograms in the Prometheus text exposition format: families sorted
+// by name, each with one TYPE line (and a HELP line when SetHelp
+// recorded one), counter/gauge samples sorted within the family, and
+// histogram buckets cumulative with the mandated +Inf bucket, _sum and
+// _count. A family registered as more than one metric type is skipped
+// entirely rather than emitting a duplicate TYPE line.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	// Snapshot under the registry lock; atomic metric reads happen
+	// outside it.
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	help := make(map[string]string, len(r.help))
+	for n, t := range r.help {
+		help[n] = t
+	}
+	r.mu.Unlock()
+
+	fams := make(map[string]*promFamily)
+	family := func(name, typ string) *promFamily {
+		f := fams[name]
+		if f == nil {
+			f = &promFamily{name: name, typ: typ, sorted: typ != "histogram"}
+			fams[name] = f
+		} else if f.typ != typ {
+			f.typ = "conflict"
+		}
+		return f
+	}
+
+	for name, c := range counters {
+		fam, labels := splitName(name)
+		f := family(fam, "counter")
+		f.samples = append(f.samples, promSample{fam + labels, strconv.FormatUint(c.Value(), 10)})
+	}
+	for name, g := range gauges {
+		fam, labels := splitName(name)
+		f := family(fam, "gauge")
+		f.samples = append(f.samples, promSample{fam + labels, formatValue(g.Value())})
+	}
+	// Histogram samples of one family stay grouped per label set, in
+	// ascending bucket order; label sets are sorted by their base name.
+	histNames := make([]string, 0, len(hists))
+	for name := range hists {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		h := hists[name]
+		fam, labels := splitName(name)
+		f := family(fam, "histogram")
+		counts := h.Counts()
+		var cum uint64
+		for i, n := range counts {
+			cum += n
+			le := math.Inf(1)
+			if i < len(h.bounds) {
+				le = h.bounds[i]
+			}
+			f.samples = append(f.samples, promSample{
+				fam + "_bucket" + spliceLabel(labels, "le", formatLe(le)),
+				strconv.FormatUint(cum, 10),
+			})
+		}
+		f.samples = append(f.samples,
+			promSample{fam + "_sum" + labels, formatValue(h.Sum())},
+			promSample{fam + "_count" + labels, strconv.FormatUint(cum, 10)})
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, n := range names {
+		f := fams[n]
+		if f.typ == "conflict" {
+			continue
+		}
+		if f.sorted {
+			sort.Slice(f.samples, func(i, j int) bool { return f.samples[i].name < f.samples[j].name })
+		}
+		if t := help[n]; t != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(n)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(t))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(n)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ)
+		bw.WriteByte('\n')
+		for _, s := range f.samples {
+			bw.WriteString(s.name)
+			bw.WriteByte(' ')
+			bw.WriteString(s.value)
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// buildPromRegistry assembles a registry exercising every encoder
+// feature: embedded labels, label-value escaping, HELP escaping,
+// family sanitization, multi-label-set histograms and zero-observation
+// metrics.
+func buildPromRegistry() *Registry {
+	reg := NewRegistry(4)
+	reg.SetHelp("jobs_total", "Jobs by kind.")
+	reg.Counter(PromName("jobs_total", "kind", "run")).Add(3)
+	reg.Counter(PromName("jobs_total", "kind", "sweep")) // zero sample
+	reg.Counter(PromName("errors_total", "msg", "line1\nline2 \"quoted\" back\\slash")).Inc()
+	reg.SetHelp("temp_celsius", "Back\\slash and\nnewline in help.")
+	reg.Gauge("temp_celsius").Set(36.6)
+	reg.Gauge("bad/name metric").Set(1) // sanitized to bad_name_metric
+	reg.Gauge("queue_depth").Set(0)
+
+	h := reg.Histogram("req_seconds", ExpBuckets(0.001, 10, 4))
+	for _, v := range []float64{0.0005, 0.001, 0.02, 0.5, 30} {
+		h.Observe(v)
+	}
+	reg.SetHelp("req_seconds", "Request latency.")
+	// Second label set of the same family: one TYPE line must cover both.
+	hl := reg.Histogram(PromName("req_seconds", "route", "/v1/runs"), ExpBuckets(0.001, 10, 4))
+	hl.Observe(0.05)
+	return reg
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, buildPromRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	const golden = "testdata/prometheus.golden"
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from %s (run with -update to regenerate)\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// TestWritePrometheusParses re-parses the output with the structural
+// rules a scraper enforces: every sample belongs to exactly one typed
+// family, no family header repeats, and histogram buckets are
+// cumulative and end in +Inf == _count.
+func TestWritePrometheusParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, buildPromRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	types := map[string]string{}
+	var current string
+	buckets := map[string][]uint64{} // histogram base name (with labels) → cumulative counts
+	counts := map[string]uint64{}
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if _, dup := types[parts[2]]; dup {
+				t.Fatalf("duplicate TYPE for family %s", parts[2])
+			}
+			types[parts[2]] = parts[3]
+			current = parts[2]
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		name := line[:strings.IndexByte(line, ' ')]
+		base := name
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		for _, c := range base {
+			if !(c == '_' || c == ':' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')) {
+				t.Fatalf("invalid metric name char %q in %q", c, name)
+			}
+		}
+		if current == "" || !strings.HasPrefix(base, current) {
+			t.Fatalf("sample %q outside its family block (current %q)", name, current)
+		}
+		val := line[strings.IndexByte(line, ' ')+1:]
+		if types[current] == "histogram" {
+			switch {
+			case strings.HasPrefix(name, current+"_bucket"):
+				key := strings.Replace(name, "_bucket", "", 1)
+				// Strip the le pair to group one label set's ladder.
+				key = stripLe(key)
+				n, err := strconv.ParseUint(val, 10, 64)
+				if err != nil {
+					t.Fatalf("bucket value %q: %v", val, err)
+				}
+				buckets[key] = append(buckets[key], n)
+			case strings.HasPrefix(name, current+"_count"):
+				n, _ := strconv.ParseUint(val, 10, 64)
+				counts[strings.Replace(name, "_count", "", 1)] = n
+			}
+		}
+	}
+	for key, ladder := range buckets {
+		for i := 1; i < len(ladder); i++ {
+			if ladder[i] < ladder[i-1] {
+				t.Errorf("%s: bucket counts not cumulative: %v", key, ladder)
+			}
+		}
+		if want, ok := counts[key]; ok && ladder[len(ladder)-1] != want {
+			t.Errorf("%s: +Inf bucket %d != _count %d", key, ladder[len(ladder)-1], want)
+		}
+	}
+	if len(buckets) != 2 {
+		t.Errorf("expected 2 histogram label sets, parsed %d", len(buckets))
+	}
+}
+
+// stripLe removes the le="..." pair from a label block.
+func stripLe(name string) string {
+	i := strings.Index(name, `le="`)
+	if i < 0 {
+		return name
+	}
+	j := strings.IndexByte(name[i+4:], '"')
+	end := i + 4 + j + 1
+	start := i
+	if name[i-1] == ',' {
+		start--
+	} else if name[end] == ',' {
+		end++
+	}
+	out := name[:start] + name[end:]
+	return strings.TrimSuffix(out, "{}")
+}
+
+func TestHistogramObserve(t *testing.T) {
+	reg := NewRegistry(1)
+	h := reg.Histogram("h", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 5, 100} {
+		h.Observe(v)
+	}
+	got := h.Counts()
+	want := []uint64{2, 2, 2, 2} // <=1: {0.5,1}; <=2: {1.5,2}; <=4: {3,4}; +Inf: {5,100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d: got %d want %d (all %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+	if h.Sum() != 0.5+1+1.5+2+3+4+5+100 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	if reg.Histogram("h", []float64{9}) != h {
+		t.Fatal("Histogram must return the existing instance")
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if diff := got[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	var g Gauge
+	g.Add(2.5)
+	g.Add(-1)
+	if v := g.Value(); v != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", v)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	if got := PromName("a_total"); got != "a_total" {
+		t.Fatalf("PromName bare = %q", got)
+	}
+	got := PromName("a_total", "k", `v"1\2`+"\n3")
+	want := `a_total{k="v\"1\\2\n3"}`
+	if got != want {
+		t.Fatalf("PromName = %q, want %q", got, want)
+	}
+}

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the simulator speed benchmarks, record the results as a
-# machine-readable JSON file (default BENCH_3.json in the repo root),
+# machine-readable JSON file (default BENCH_4.json in the repo root),
 # and gate them against a checked-in baseline.
 #
 # Usage:
@@ -30,7 +30,7 @@
 # Inspect with:  go tool pprof DIR/bench.test DIR/cpu-32x16-w8.pprof
 #
 # Gates (after recording):
-#   - against $BASELINE (default BENCH_2.json): any benchmark present in
+#   - against $BASELINE (default BENCH_3.json): any benchmark present in
 #     both files may not lose more than 20% cycles/s. Cross-run absolute
 #     throughput on shared machines drifts ±15% with co-tenant load
 #     (measured: the same binary spans 84–99k cycles/s on the P-B
@@ -60,8 +60,8 @@ while [ $# -gt 0 ]; do
             ARGS+=("$1"); shift ;;
     esac
 done
-OUT="${ARGS[0]:-BENCH_3.json}"
-BASELINE="${BASELINE:-BENCH_2.json}"
+OUT="${ARGS[0]:-BENCH_4.json}"
+BASELINE="${BASELINE:-BENCH_3.json}"
 
 BENCH_RE='BenchmarkSimSpeed'
 if [ "${SKIP_LARGE:-0}" = "1" ]; then
