@@ -23,6 +23,7 @@ import (
 
 	erapid "repro"
 	"repro/internal/core"
+	"repro/internal/policy"
 	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/sweep"
@@ -43,6 +44,7 @@ func main() {
 		boards    = flag.Int("boards", 8, "boards B")
 		nodes     = flag.Int("nodes", 8, "nodes per board D")
 		seed      = flag.Uint64("seed", 1, "random seed")
+		polFlag   = flag.String("policy", "", "reconfiguration policy for every run: a name (paper, greedy-off, ewma, oracle-static) or a JSON spec")
 		progress  = flag.Duration("progress-interval", 0, "minimum time between progress lines (0 = every point)")
 		phaseProf = flag.Bool("phase-profile", false, "profile per-worker phase times across all runs and print a shard-imbalance summary")
 	)
@@ -76,6 +78,14 @@ func main() {
 	base.Boards = *boards
 	base.NodesPerBoard = *nodes
 	base.Seed = *seed
+	if *polFlag != "" {
+		spec, err := policy.ParseSpec(*polFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		base.Policy = spec
+	}
 	// Budget the two parallelism levels against the machine: each of the
 	// -workers concurrent simulations spins up -run-workers threads, so
 	// the sweep default shrinks to keep the product near the core count.

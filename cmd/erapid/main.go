@@ -23,6 +23,7 @@ import (
 	erapid "repro"
 	"repro/internal/core"
 	"repro/internal/flit"
+	"repro/internal/policy"
 	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/telemetry"
@@ -44,6 +45,7 @@ func main() {
 		measure = flag.Uint64("measure", 10000, "measurement cycles")
 		drain   = flag.Uint64("drain", 300000, "drain limit cycles")
 		lsTrace = flag.Bool("trace", false, "print the Lock-Step protocol stage trace (Fig. 4)")
+		polFlag = flag.String("policy", "", "reconfiguration policy: a name (paper, greedy-off, ewma, oracle-static) or a JSON spec like {\"name\":\"ewma\",\"alpha\":0.2}")
 		faults  = flag.String("faults", "", "load a JSON fault-injection spec (see internal/fault)")
 		cfgPath = flag.String("config", "", "load a JSON config file (flags override it)")
 		dump    = flag.String("dump-config", "", "write the effective config as JSON and exit")
@@ -95,6 +97,14 @@ func main() {
 	cfg.DrainLimitCycles = *drain
 	cfg.Workers = *workers
 	cfg.PhaseProfile = *phaseProf || *phaseProfOut != ""
+	if *polFlag != "" {
+		spec, err := policy.ParseSpec(*polFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Policy = spec
+	}
 	if *faults != "" {
 		spec, err := erapid.LoadFaultSpec(*faults)
 		if err != nil {
@@ -277,6 +287,11 @@ func printJourneys(tr *trace.Tracer, n int) {
 func printResult(r *core.Result, cfg core.Config) {
 	fmt.Printf("E-RAPID R(1,%d,%d), %d nodes — %s, %s traffic\n",
 		cfg.Boards, cfg.NodesPerBoard, cfg.Boards*cfg.NodesPerBoard, r.Mode, r.Pattern)
+	if r.Policy != "" {
+		// Only non-baseline runs print a policy line, keeping the default
+		// output byte-identical to pre-policy builds.
+		fmt.Printf("  policy                %s\n", r.Policy)
+	}
 	fmt.Printf("  capacity N_c          %.5f pkt/node/cycle (uniform, analytic)\n", r.Capacity)
 	fmt.Printf("  offered load          %.2f x N_c = %.5f pkt/node/cycle (measured %.5f)\n", r.Load, r.Rate, r.OfferedLoad)
 	fmt.Printf("  accepted throughput   %.5f pkt/node/cycle (%.2f x N_c)\n", r.Throughput, r.NormalizedThroughput())

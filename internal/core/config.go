@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ctrl"
 	"repro/internal/fault"
+	"repro/internal/policy"
 	"repro/internal/power"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -76,6 +77,14 @@ type Config struct {
 	// injector driven by this spec (see internal/fault). An empty spec
 	// behaves bit-identically to nil.
 	Faults *fault.Spec `json:"Faults,omitempty"`
+
+	// Policy selects the reconfiguration policy the RCs run (see
+	// internal/policy). Nil — or "paper" with default knobs — is the
+	// paper baseline, bit-identical to the pre-policy engine and
+	// canonicalized away so the content digest of a paper run is
+	// unchanged. Any other policy participates in the digest, so the
+	// service cache distinguishes runs by policy.
+	Policy *policy.Spec `json:"Policy,omitempty"`
 
 	// Workers is the intra-run worker count for board-sharded parallel
 	// stepping. 0 and 1 select the serial engine (the default); larger
@@ -191,10 +200,23 @@ func (c Config) Validate() error {
 			add("Faults", "%v", err)
 		}
 	}
+	if err := c.Policy.Validate(); err != nil {
+		add("Policy", "%v", err)
+	}
 	if len(errs) > 0 {
 		return errs
 	}
 	return nil
+}
+
+// PolicyName returns the canonical name of the configured policy when
+// it differs from the paper baseline, "" otherwise (Result and the CLI
+// surface it only for non-baseline runs).
+func (c Config) PolicyName() string {
+	if p := c.Policy.Canonical(); p != nil {
+		return p.CanonicalName()
+	}
+	return ""
 }
 
 // topology validates the configuration and returns its topology.
@@ -254,6 +276,7 @@ func (c Config) ctrlConfig() ctrl.Config {
 	cc := ctrl.DefaultConfig(c.Mode.PowerAware(), c.Mode.BandwidthReconfig())
 	cc.Window = c.Window
 	cc.MaxHold = c.MaxHold
+	cc.Policy = c.Policy.Canonical()
 	if c.Faults.HasCtrlFaults() {
 		// Bound every ring receive so a lost Board Request cannot wedge a
 		// window: one full ring circulation plus slack, doubling per retry.

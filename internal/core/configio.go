@@ -73,11 +73,13 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 
 // normalized returns a copy with the encoding-irrelevant degrees of
 // freedom collapsed: an empty fault spec behaves bit-identically to a
-// nil one, so the canonical form drops it.
+// nil one, and the paper-baseline policy spec bit-identically to no
+// policy at all, so the canonical form drops both.
 func (c Config) normalized() Config {
 	if c.Faults != nil && c.Faults.Empty() {
 		c.Faults = nil
 	}
+	c.Policy = c.Policy.Canonical()
 	return c
 }
 

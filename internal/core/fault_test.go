@@ -264,18 +264,7 @@ func TestFaultConservationQuick(t *testing.T) {
 			return false
 		}
 		// Supply power bound: every populated laser lit at the ladder top.
-		ladder := s.Fabric().Config().Ladder
-		populated := 0
-		for sb := 0; sb < b; sb++ {
-			for w := 1; w < b; w++ {
-				for d := 0; d < b; d++ {
-					if s.Fabric().Laser(sb, w, d) != nil {
-						populated++
-					}
-				}
-			}
-		}
-		bound := float64(populated) * ladder.MW(ladder.Top())
+		bound := s.Fabric().SupplyBoundMW()
 		if supply := s.Fabric().Meter().AvgSupplyMW(); supply > bound {
 			t.Logf("seed %d: supply %f exceeds all-top bound %f", seed, supply, bound)
 			return false

@@ -19,6 +19,10 @@ func FuzzConfigIO(f *testing.F) {
 	f.Add([]byte(`{"BurstLength":300,"BurstDuty":0.25,"InjectionRate":0.01}`))
 	f.Add([]byte(`{"Faults":{"events":[{"at":100,"kind":"laser-kill","board":2,"wavelength":3,"dest":5}]}}`))
 	f.Add([]byte(`{"Faults":{"seed":9,"ctrl_drop_rate":0.05,"laser_degrade_rate":0.001,"degrade_cycles":65}}`))
+	f.Add([]byte(`{"Policy":{"name":"ewma","alpha":0.2}}`))
+	f.Add([]byte(`{"Policy":{"name":"greedy-off","off_max":0.8},"Mode":"P-B"}`))
+	f.Add([]byte(`{"Policy":{"name":"paper"}}`))
+	f.Add([]byte(`{"Policy":{"name":"oracle-static","headroom":1.5}}`))
 	f.Add([]byte(`{"schema_version":1}`))
 	f.Add([]byte(`{"schema_version":1,"Mode":"NP-B","Load":0.3,"Workers":4}`))
 	f.Add([]byte(`{"schema_version":2,"Mode":"P-B"}`))

@@ -12,6 +12,10 @@ import (
 type Result struct {
 	Mode    Mode
 	Pattern string
+	// Policy is the canonical reconfiguration-policy name when the run
+	// used one other than the paper baseline ("" = paper, keeping paper
+	// results byte-identical to pre-policy builds).
+	Policy string `json:",omitempty"`
 	// Load is the configured load as a fraction of uniform capacity.
 	Load float64
 	// Rate is the absolute offered injection rate (packets/node/cycle).

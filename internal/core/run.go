@@ -97,6 +97,7 @@ func (s *System) result(cycles uint64, truncated bool) *Result {
 	r := &Result{
 		Mode:     cfg.Mode,
 		Pattern:  cfg.Pattern,
+		Policy:   cfg.PolicyName(),
 		Load:     cfg.Load,
 		Rate:     cfg.Rate(),
 		Capacity: cfg.Capacity(),

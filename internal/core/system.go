@@ -8,6 +8,7 @@ import (
 	"repro/internal/flit"
 	"repro/internal/link"
 	"repro/internal/optical"
+	"repro/internal/policy"
 	"repro/internal/rng"
 	"repro/internal/router"
 	"repro/internal/sim"
@@ -95,8 +96,20 @@ type board struct {
 	routeWS []int
 }
 
-// NewSystem validates the configuration and assembles the network.
+// NewSystem validates the configuration and assembles the network. A
+// config selecting the oracle-static policy first runs a profiling
+// pre-pass (serial, healthy, same seed and traffic) whose averaged
+// window statistics the oracle plans its fixed allocation from; the
+// pre-pass is deterministic, so the main run stays bit-identical
+// across worker counts.
 func NewSystem(cfg Config) (*System, error) {
+	return newSystem(cfg, nil)
+}
+
+// newSystem is NewSystem with an optional per-board policy override
+// (used for the oracle pre-pass profilers and the profiled oracle
+// instances themselves).
+func newSystem(cfg Config, newPol func(board int) policy.Policy) (*System, error) {
 	top, err := cfg.topology()
 	if err != nil {
 		return nil, err
@@ -119,7 +132,20 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctl, err := ctrl.NewSystem(top, fab, eng, cfg.ctrlConfig())
+	cc := cfg.ctrlConfig()
+	if newPol != nil {
+		cc.NewPolicy = newPol
+	} else if cc.Policy.CanonicalName() == "oracle-static" {
+		prof, err := oracleProfile(cfg, ladder)
+		if err != nil {
+			return nil, fmt.Errorf("core: oracle profiling pre-pass: %w", err)
+		}
+		spec := cc.Policy
+		cc.NewPolicy = func(b int) policy.Policy {
+			return policy.NewOracleStatic(policyParams(cfg, cc, ladder, b, spec), prof)
+		}
+	}
+	ctl, err := ctrl.NewSystem(top, fab, eng, cc)
 	if err != nil {
 		return nil, err
 	}

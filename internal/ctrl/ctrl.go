@@ -31,20 +31,17 @@ import (
 	"fmt"
 
 	"repro/internal/optical"
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
-// Thresholds are the utilization set-points of Sec. 3.1/3.2.
-type Thresholds struct {
-	// LMin/LMax bound link utilization for bit-rate scaling.
-	LMin, LMax float64
-	// BMin/BMax bound buffer utilization: below BMin an incoming channel
-	// is re-allocatable, above BMax a flow is congested (and, jointly with
-	// LMax, a laser may scale up).
-	BMin, BMax float64
-}
+// Thresholds are the utilization set-points of Sec. 3.1/3.2. The
+// canonical definition lives in the policy package (policies consume
+// them without importing ctrl); the alias keeps the established ctrl
+// API intact.
+type Thresholds = policy.Thresholds
 
 // PaperPB returns the thresholds the paper uses for the power-aware,
 // bandwidth-reconfigured network (L_max 0.9, L_min 0.7, B_max 0.3).
@@ -91,6 +88,15 @@ type Config struct {
 	// message (each retry doubles the timeout) before abandoning the
 	// cycle. Only meaningful with RecvTimeoutCycles > 0.
 	RecvRetries int
+	// Policy selects the registered reconfiguration policy the RCs
+	// consult each window (nil = the paper baseline, bit-identical to
+	// the pre-interface engine).
+	Policy *policy.Spec
+	// NewPolicy, when non-nil, overrides Policy with a caller-supplied
+	// per-board constructor (core uses it to inject profiled
+	// oracle-static instances). The returned policies must honor the
+	// policy package's determinism contract.
+	NewPolicy func(board int) policy.Policy
 }
 
 // Validate checks the configuration.
@@ -108,6 +114,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("ctrl: BMin %v > BMax %v", c.Thresholds.BMin, c.Thresholds.BMax)
 	case c.RecvRetries < 0:
 		return fmt.Errorf("ctrl: RecvRetries must be >= 0, got %d", c.RecvRetries)
+	}
+	if c.NewPolicy == nil {
+		if err := c.Policy.Validate(); err != nil {
+			return fmt.Errorf("ctrl: %w", err)
+		}
 	}
 	return nil
 }
@@ -245,7 +256,24 @@ func NewSystem(top *topology.Topology, fab *optical.Fabric, eng *sim.Engine, cfg
 	}
 	s := &System{top: top, fab: fab, eng: eng, cfg: cfg}
 	for b := 0; b < top.Boards(); b++ {
-		s.rcs = append(s.rcs, newRC(s, b))
+		rc := newRC(s, b)
+		if cfg.NewPolicy != nil {
+			rc.pol = cfg.NewPolicy(b)
+		} else {
+			pol, err := policy.New(cfg.Policy, policy.Params{
+				Board:      b,
+				Boards:     top.Boards(),
+				Thresholds: cfg.Thresholds,
+				Ladder:     ladder,
+				MaxHold:    cfg.MaxHold,
+				Window:     cfg.Window,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rc.pol = pol
+		}
+		s.rcs = append(s.rcs, rc)
 	}
 	if cfg.PowerAware {
 		fab.SetAutoWake(cfg.WakeLevel)

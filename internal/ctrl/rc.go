@@ -3,6 +3,7 @@ package ctrl
 import (
 	"fmt"
 
+	"repro/internal/policy"
 	"repro/internal/sim"
 )
 
@@ -62,6 +63,10 @@ type RC struct {
 
 	mbox *sim.Mailbox[*boardMsg]
 
+	// pol decides this board's level moves and wavelength grants; the
+	// RC owns applying them safely (see the policy package contracts).
+	pol policy.Policy
+
 	windows uint64
 	// lastAssign records the most recent holder map this RC computed for
 	// its incoming channels (diagnostics).
@@ -69,16 +74,23 @@ type RC struct {
 	// snap is the window-snapshot scratch, reused across windows (each
 	// window's snapshot is fully consumed before the next one is taken).
 	snap [][]laserSnap
-	// demand/holds/over are reconfigure's per-window scratch, reused so
-	// the Reconfigure stage only allocates the assign map it publishes.
-	demand []float64
-	holds  []int
-	over   []int
+	// chanObs is the Reconfigure-stage observation scratch handed to the
+	// policy, reused so the stage only allocates the assign map it
+	// publishes; bwCtx carries the topology/fabric callbacks, built once.
+	chanObs []policy.ChanObs
+	bwCtx   policy.BandwidthCtx
 }
 
 func newRC(s *System, board int) *RC {
-	return &RC{sys: s, board: board, mbox: sim.NewMailbox[*boardMsg](s.eng, fmt.Sprintf("rc%d-inbox", board))}
+	rc := &RC{sys: s, board: board, mbox: sim.NewMailbox[*boardMsg](s.eng, fmt.Sprintf("rc%d-inbox", board))}
+	rc.chanObs = make([]policy.ChanObs, s.top.Boards())
+	rc.bwCtx.StaticOwner = func(w int) int { return s.top.StaticOwner(rc.board, w) }
+	rc.bwCtx.LaserHealthy = func(src, w int) bool { return s.fab.LaserHealthy(src, w, rc.board) }
+	return rc
 }
+
+// Policy returns the RC's reconfiguration policy.
+func (rc *RC) Policy() policy.Policy { return rc.pol }
 
 // Board returns the RC's board index.
 func (rc *RC) Board() int { return rc.board }
@@ -156,12 +168,12 @@ func (rc *RC) snapshotAndReset() [][]laserSnap {
 
 // powerCycle implements the Dynamic Power Regulation Algorithm
 // (Sec. 3.1): the Power_Request packet traverses the LC chain; each LC
-// scales its lasers locally. The RC receives no LC state back.
+// consults the policy and scales its lasers locally. The RC receives no
+// LC state back.
 func (rc *RC) powerCycle(p *sim.Process, snap [][]laserSnap) {
 	sys := rc.sys
 	sys.stage(rc.board, "power-request")
 	b := sys.top.Boards()
-	th := sys.cfg.Thresholds
 	relock := sys.fab.Config().RelockCycles
 	ladder := sys.fab.Config().Ladder
 	for w := 1; w < b; w++ { // one LC per transmitter
@@ -179,19 +191,40 @@ func (rc *RC) powerCycle(p *sim.Process, snap [][]laserSnap) {
 				continue // DPM leaves failed lasers alone until they recover
 			}
 			st := snap[w][d]
+			obs := policy.LinkObs{
+				Wavelength: w,
+				Dest:       d,
+				Level:      l.Level(),
+				LinkUtil:   st.linkUtil,
+				BufUtil:    st.bufUtil,
+				QueueLen:   st.queueLen,
+				Dropped:    st.dropped,
+				LiveQueue:  l.QueueLen(),
+				Busy:       l.Busy(now),
+			}
+			target := rc.pol.Power(obs)
+			if target == obs.Level {
+				continue
+			}
 			switch {
-			case l.Level() == 0:
-				// Off: wake-on-demand is handled by the fabric.
-			case st.linkUtil == 0 && st.queueLen == 0 && l.QueueLen() == 0 && !l.Busy(now):
-				// Dynamic Link Shutdown: completely idle over the window.
+			case target == 0:
+				// Shutdown is applied only when the laser is drained and not
+				// mid-transmission; otherwise the preference is deferred to a
+				// later window (the safety contract).
+				if obs.LiveQueue != 0 || obs.QueueLen != 0 || obs.Busy {
+					continue
+				}
 				l.SetLevel(0, now, relock)
 				sys.ctr.Shutdowns++
-			case st.linkUtil < th.LMin && l.Level() != ladder.Bottom():
-				l.SetLevel(ladder.Down(l.Level()), now, relock)
-				sys.ctr.LevelDowns++
-			case st.linkUtil > th.LMax && st.bufUtil > th.BMax && l.Level() != ladder.Top():
-				l.SetLevel(ladder.Up(l.Level()), now, relock)
+			case !ladder.Operating(target):
+				continue // invalid preference: ignored
+			case target > obs.Level:
+				// Scale up, or a policy-driven pre-wake from Off.
+				l.SetLevel(target, now, relock)
 				sys.ctr.LevelUps++
+			default:
+				l.SetLevel(target, now, relock)
+				sys.ctr.LevelDowns++
 			}
 		}
 	}
@@ -223,11 +256,34 @@ func (rc *RC) bandwidthCycle(p *sim.Process, snap [][]laserSnap) {
 		return
 	}
 
-	// Stage 3: Reconfigure — classify incoming channels and compute the
-	// new holder map.
+	// Stage 3: Reconfigure — hand the assembled channel observations to
+	// the policy, which computes the new holder map.
 	sys.stage(rc.board, "reconfigure")
 	p.Delay(sys.cfg.ComputeCycles)
-	assign := rc.reconfigure(full)
+	for w := 1; w < b; w++ {
+		e := full.entries[w]
+		rc.chanObs[w] = policy.ChanObs{
+			Holder:      e.holder,
+			LinkUtil:    e.linkUtil,
+			BufUtil:     e.bufUtil,
+			QueueLen:    e.queueLen,
+			Dead:        e.dead,
+			OwnerDemand: e.ownerDemand,
+			OwnerQueue:  e.ownerQueue,
+			OwnerDrops:  e.ownerDrops,
+		}
+	}
+	// assign escapes (lastAssign, the circulated response), so it is the
+	// one per-window allocation; it is handed to the policy pre-filled
+	// with the current holder map.
+	assign := make([]int, b)
+	for w := 1; w < b; w++ {
+		assign[w] = full.entries[w].holder
+	}
+	rc.bwCtx.Window = rc.windows
+	rc.bwCtx.Repairs = 0
+	assign = rc.pol.Bandwidth(&rc.bwCtx, rc.chanObs, assign)
+	sys.ctr.FaultRepairs += uint64(rc.bwCtx.Repairs)
 	rc.lastAssign = assign
 	sys.putMsg(full)
 
@@ -243,6 +299,9 @@ func (rc *RC) bandwidthCycle(p *sim.Process, snap [][]laserSnap) {
 	now := p.Now()
 	for w := 1; w < b; w++ {
 		newHolder := assign[w]
+		if newHolder < 0 || newHolder >= b || newHolder == rc.board {
+			continue // invalid grant: ignored (the safety contract)
+		}
 		ch := sys.fab.Channel(rc.board, w)
 		if newHolder == ch.Holder() {
 			continue
@@ -417,154 +476,6 @@ func (rc *RC) fillEntries(m *boardMsg, snap [][]laserSnap) {
 			m.entries[w].ownerDrops = st.dropped
 		}
 	}
-}
-
-// reconfigure is the Reconfigure stage policy: classify each incoming
-// channel by its holder's Buffer_util (under-utilized ≤ B_min with an
-// idle link, over-utilized > B_max) and re-allocate under-utilized
-// wavelengths to over-utilized source flows, preferring to return lent
-// channels to congested static owners first.
-func (rc *RC) reconfigure(m *boardMsg) []int {
-	sys := rc.sys
-	b := sys.top.Boards()
-	th := sys.cfg.Thresholds
-	// assign escapes (lastAssign, the circulated response), so it is the
-	// one per-window allocation; the classification scratch is reused.
-	assign := make([]int, b)
-	if rc.demand == nil {
-		rc.demand = make([]float64, b)
-		rc.holds = make([]int, b)
-		rc.over = make([]int, 0, b)
-	}
-	demand, holds := rc.demand, rc.holds
-	for i := range demand {
-		demand[i] = 0
-		holds[i] = 0
-	}
-	for w := 1; w < b; w++ {
-		e := m.entries[w]
-		assign[w] = e.holder
-		holds[e.holder]++
-		if e.bufUtil > demand[e.holder] {
-			demand[e.holder] = e.bufUtil
-		}
-	}
-	// Pass 0: fault repair — a channel whose holder's laser died
-	// permanently is dark and can never recover on its own. Move it to a
-	// surviving laser, preferring the static owner, then ring order from
-	// the owner. Repairs ignore MaxHold: a dark channel helps nobody.
-	for w := 1; w < b; w++ {
-		e := m.entries[w]
-		if !e.dead {
-			continue
-		}
-		owner := sys.top.StaticOwner(rc.board, w)
-		target, found := 0, false
-		for i := 0; i < b; i++ {
-			cand := (owner + i) % b
-			if cand == rc.board || cand == e.holder {
-				continue
-			}
-			if sys.fab.LaserHealthy(cand, w, rc.board) {
-				target, found = cand, true
-				break
-			}
-		}
-		if !found {
-			continue // no survivor can drive this wavelength; leave it
-		}
-		assign[w] = target
-		holds[e.holder]--
-		holds[target]++
-		sys.ctr.FaultRepairs++
-	}
-
-	// Starving owners: no held channel, but queued demand on their static
-	// laser — or a dead static laser silently dropping the flow's packets,
-	// which never queue and so need the drop counter as their signal.
-	for w := 1; w < b; w++ {
-		owner := sys.top.StaticOwner(rc.board, w)
-		if holds[owner] == 0 && m.entries[w].ownerDemand > demand[owner] {
-			demand[owner] = m.entries[w].ownerDemand
-		}
-		if holds[owner] == 0 && (m.entries[w].ownerQueue > 0 || m.entries[w].ownerDrops > 0) && demand[owner] <= th.BMax {
-			// Any parked (or fault-dropped) packets at all mean the owner
-			// needs a channel — a zero-bandwidth flow must never starve
-			// forever.
-			demand[owner] = th.BMax + 1e-9
-		}
-	}
-
-	maxHold := sys.cfg.MaxHold
-	if maxHold <= 0 {
-		maxHold = b - 1
-	}
-	over := rc.over[:0]
-	for s := 0; s < b; s++ {
-		if s != rc.board && demand[s] > th.BMax && holds[s] < maxHold {
-			over = append(over, s)
-		}
-	}
-	rc.over = over
-
-	// Pass 1: reclaim — return lent channels to congested owners when the
-	// current holder is not itself congested on that channel (and the
-	// owner's laser survives to drive it).
-	for w := 1; w < b; w++ {
-		e := m.entries[w]
-		if assign[w] != e.holder {
-			continue // repaired in pass 0
-		}
-		owner := sys.top.StaticOwner(rc.board, w)
-		if e.holder != owner && demand[owner] > th.BMax && e.bufUtil <= th.BMax &&
-			sys.fab.LaserHealthy(owner, w, rc.board) {
-			assign[w] = owner
-			holds[e.holder]--
-			holds[owner]++
-		}
-	}
-
-	if len(over) == 0 {
-		return assign
-	}
-
-	// Pass 2: re-allocate completely idle channels to over-utilized flows,
-	// round-robin, rotating the start across windows for fairness.
-	next := int(rc.windows) % len(over)
-	for w := 1; w < b; w++ {
-		if assign[w] != m.entries[w].holder {
-			continue // just reclaimed
-		}
-		e := m.entries[w]
-		if e.linkUtil > 0 || e.bufUtil > th.BMin || e.queueLen > 0 {
-			continue // in use
-		}
-		if demand[e.holder] > th.BMax {
-			continue // holder is congested elsewhere toward me; keep it
-		}
-		// The holder cannot be in over (checked above), so target differs
-		// from the current holder.
-		var target int
-		found := false
-		for tries := 0; tries < len(over); tries++ {
-			cand := over[next%len(over)]
-			next++
-			// LaserHealthy subsumes CanHold: the candidate must have a
-			// populated, surviving laser for this channel.
-			if holds[cand] < maxHold && sys.fab.LaserHealthy(cand, w, rc.board) {
-				target = cand
-				found = true
-				break
-			}
-		}
-		if !found {
-			continue
-		}
-		assign[w] = target
-		holds[e.holder]--
-		holds[target]++
-	}
-	return assign
 }
 
 // send forwards a message to the next RC on the ring with the hop

@@ -556,6 +556,25 @@ func (f *Fabric) SetDeliver(d, w int, fn DeliverFunc) { f.deliver[d][w] = fn }
 // Meter returns the fabric's power meter.
 func (f *Fabric) Meter() *power.Meter { return f.meter }
 
+// SupplyBoundMW returns the fabric's supply-power ceiling: every
+// populated laser lit at the ladder top. No schedule — and no
+// reconfiguration policy — can average above it, which makes it the
+// universal upper bound the conservation and conformance suites check
+// AvgSupplyMW against.
+func (f *Fabric) SupplyBoundMW() float64 {
+	populated := 0
+	for _, byWavelength := range f.lasers {
+		for _, byDest := range byWavelength {
+			for _, l := range byDest {
+				if l != nil {
+					populated++
+				}
+			}
+		}
+	}
+	return float64(populated) * f.cfg.Ladder.MW(f.cfg.Ladder.Top())
+}
+
 // EnableMetering starts (or stops) power integration; the measurement
 // driver enables it only for the measurement interval.
 func (f *Fabric) EnableMetering(on bool) { f.meterEnabled = on }

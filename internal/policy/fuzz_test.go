@@ -1,0 +1,65 @@
+package policy
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzPolicySpec throws arbitrary selector text at ParseSpec. Any
+// selector it accepts must survive validate -> canonicalize -> JSON
+// round trip without drifting: the canonical form re-parses to an
+// equal canonical form, and canonicalization is idempotent. This is
+// the contract the Config digest (and therefore the service result
+// cache) depends on.
+func FuzzPolicySpec(f *testing.F) {
+	f.Add("")
+	f.Add("paper")
+	f.Add(" PAPER ")
+	f.Add("greedy-off")
+	f.Add("ewma")
+	f.Add("oracle-static")
+	f.Add(`{"name":"paper"}`)
+	f.Add(`{"name":"ewma","alpha":0.2}`)
+	f.Add(`{"name":"greedy-off","off_max":0.8}`)
+	f.Add(`{"name":"oracle-static","headroom":1.5}`)
+	f.Add(`{"name":"EWMA","alpha":1}`)
+	f.Add(`{"name":"nope"}`)
+	f.Add(`{"name":"ewma","alpha":2}`)
+	f.Add(`{bad json`)
+	f.Fuzz(func(t *testing.T, text string) {
+		spec, err := ParseSpec(text)
+		if err != nil {
+			return // rejected selectors are out of contract
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("ParseSpec accepted %q but Validate rejects it: %v", text, verr)
+		}
+		canon := spec.Canonical()
+		if canon == nil {
+			// The paper baseline with default knobs: its canonical form is
+			// absence, which trivially round-trips.
+			if spec.CanonicalName() != Paper {
+				t.Fatalf("non-paper spec %+v canonicalized to nil", spec)
+			}
+			return
+		}
+		if err := canon.Validate(); err != nil {
+			t.Fatalf("canonical form of %q invalid: %v", text, err)
+		}
+		if again := canon.Canonical(); !reflect.DeepEqual(canon, again) {
+			t.Fatalf("canonicalization not idempotent: %+v -> %+v", canon, again)
+		}
+		enc, err := json.Marshal(canon)
+		if err != nil {
+			t.Fatalf("canonical spec failed to marshal: %v", err)
+		}
+		back, err := ParseSpec(string(enc))
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(canon, back.Canonical()) {
+			t.Fatalf("round trip changed the spec:\nfirst:  %+v\nsecond: %+v\nencoding: %s", canon, back.Canonical(), enc)
+		}
+	})
+}

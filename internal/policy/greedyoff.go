@@ -1,0 +1,59 @@
+package policy
+
+func init() {
+	Register("greedy-off", func(p Params) Policy { return NewGreedyOff(p) })
+}
+
+// GreedyOff is an aggressive energy-proportional shutdown policy in the
+// spirit of "Think Green — Turn Off The Lights" (arXiv:2112.02083):
+// any laser that is idle at decision time is switched off immediately —
+// not just lasers that were idle for a whole window — and lasers with
+// work run at the lowest rate their buffers tolerate. Wake-on-demand
+// (and its relock penalty) is the price: greedy-off trades latency for
+// strictly lower supply power on idle-skewed traffic.
+type GreedyOff struct {
+	p      Params
+	offMax float64
+	dbr    dbrCore
+}
+
+// NewGreedyOff builds the shutdown policy for one board.
+func NewGreedyOff(p Params) *GreedyOff {
+	offMax := p.Spec.OffMax
+	if offMax == 0 {
+		offMax = DefaultOffMax
+	}
+	return &GreedyOff{p: p, offMax: offMax, dbr: newDBRCore(p)}
+}
+
+// Name implements Policy.
+func (g *GreedyOff) Name() string { return "greedy-off" }
+
+// Power turns the lights off: momentarily idle lasers shut down unless
+// the previous window shows sustained use above OffMax (where the
+// per-window relock tax would exceed the savings); loaded lasers scale
+// one rung down whenever the link is not near saturation, and up only
+// when the buffer signals congestion.
+func (g *GreedyOff) Power(o LinkObs) int {
+	th, lad := g.p.Thresholds, g.p.Ladder
+	switch {
+	case o.Level == 0:
+		return 0
+	case o.LiveQueue == 0 && !o.Busy && o.QueueLen == 0 && o.LinkUtil <= g.offMax:
+		return 0
+	case o.LinkUtil > th.LMax && o.BufUtil > th.BMax && o.Level != lad.Top():
+		return lad.Up(o.Level)
+	case o.LinkUtil < th.LMax && o.Level != lad.Bottom():
+		// The paper scales down only below L_min; greedy-off heads for the
+		// bottom rung whenever there is any slack at all.
+		return lad.Down(o.Level)
+	}
+	return o.Level
+}
+
+// Bandwidth reuses the paper's DBR classification: shutdown aggression
+// is a power-cycle concern, and the grant machinery already reclaims
+// and re-allocates on buffer demand.
+func (g *GreedyOff) Bandwidth(ctx *BandwidthCtx, obs []ChanObs, assign []int) []int {
+	return g.dbr.run(ctx, obs, assign)
+}

@@ -1,0 +1,210 @@
+package policy
+
+func init() {
+	Register(Paper, func(p Params) Policy { return NewPaper(p) })
+}
+
+// PaperPolicy is the paper's fixed history-based Lock-Step policy
+// (Sec. 3.1/3.2), extracted behind the Policy interface with zero
+// behavior change: the decisions — and therefore the whole simulation
+// — are bit-identical to the pre-interface engine.
+type PaperPolicy struct {
+	p Params
+	// dbr is the shared DBR classification engine; greedy-off and ewma
+	// reuse it with their own power rules and (for ewma) smoothed
+	// observations.
+	dbr dbrCore
+}
+
+// NewPaper builds the paper baseline for one board.
+func NewPaper(p Params) *PaperPolicy {
+	return &PaperPolicy{p: p, dbr: newDBRCore(p)}
+}
+
+// Name implements Policy.
+func (pp *PaperPolicy) Name() string { return Paper }
+
+// Power implements the Dynamic Power Regulation Algorithm (Sec. 3.1):
+// Dynamic Link Shutdown for completely idle links, one-rung scaling
+// against the L_min / L_max+B_max thresholds otherwise.
+func (pp *PaperPolicy) Power(o LinkObs) int {
+	th, lad := pp.p.Thresholds, pp.p.Ladder
+	switch {
+	case o.Level == 0:
+		// Off: wake-on-demand is handled by the fabric.
+		return 0
+	case o.LinkUtil == 0 && o.QueueLen == 0 && o.LiveQueue == 0 && !o.Busy:
+		// Dynamic Link Shutdown: completely idle over the window.
+		return 0
+	case o.LinkUtil < th.LMin && o.Level != lad.Bottom():
+		return lad.Down(o.Level)
+	case o.LinkUtil > th.LMax && o.BufUtil > th.BMax && o.Level != lad.Top():
+		return lad.Up(o.Level)
+	}
+	return o.Level
+}
+
+// Bandwidth implements the Reconfigure-stage policy (Sec. 3.2).
+func (pp *PaperPolicy) Bandwidth(ctx *BandwidthCtx, obs []ChanObs, assign []int) []int {
+	return pp.dbr.run(ctx, obs, assign)
+}
+
+// dbrCore is the paper's Reconfigure-stage classification engine:
+// classify each incoming channel by its holder's Buffer_util
+// (under-utilized <= B_min with an idle link, over-utilized > B_max)
+// and re-allocate under-utilized wavelengths to over-utilized source
+// flows, preferring to return lent channels to congested static owners
+// first. The demand/holds/over slices are per-instance scratch, reused
+// so each window's decision allocates nothing beyond the assign slice
+// the controller hands in.
+type dbrCore struct {
+	board   int
+	boards  int
+	th      Thresholds
+	maxHold int
+	demand  []float64
+	holds   []int
+	over    []int
+}
+
+func newDBRCore(p Params) dbrCore {
+	return dbrCore{
+		board:   p.Board,
+		boards:  p.Boards,
+		th:      p.Thresholds,
+		maxHold: p.maxHold(),
+		demand:  make([]float64, p.Boards),
+		holds:   make([]int, p.Boards),
+		over:    make([]int, 0, p.Boards),
+	}
+}
+
+func (c *dbrCore) run(ctx *BandwidthCtx, obs []ChanObs, assign []int) []int {
+	b := c.boards
+	th := c.th
+	demand, holds := c.demand, c.holds
+	for i := range demand {
+		demand[i] = 0
+		holds[i] = 0
+	}
+	for w := 1; w < b; w++ {
+		e := obs[w]
+		assign[w] = e.Holder
+		holds[e.Holder]++
+		if e.BufUtil > demand[e.Holder] {
+			demand[e.Holder] = e.BufUtil
+		}
+	}
+	// Pass 0: fault repair — a channel whose holder's laser died
+	// permanently is dark and can never recover on its own. Move it to a
+	// surviving laser, preferring the static owner, then ring order from
+	// the owner. Repairs ignore MaxHold: a dark channel helps nobody.
+	for w := 1; w < b; w++ {
+		e := obs[w]
+		if !e.Dead {
+			continue
+		}
+		owner := ctx.StaticOwner(w)
+		target, found := 0, false
+		for i := 0; i < b; i++ {
+			cand := (owner + i) % b
+			if cand == c.board || cand == e.Holder {
+				continue
+			}
+			if ctx.LaserHealthy(cand, w) {
+				target, found = cand, true
+				break
+			}
+		}
+		if !found {
+			continue // no survivor can drive this wavelength; leave it
+		}
+		assign[w] = target
+		holds[e.Holder]--
+		holds[target]++
+		ctx.Repairs++
+	}
+
+	// Starving owners: no held channel, but queued demand on their static
+	// laser — or a dead static laser silently dropping the flow's packets,
+	// which never queue and so need the drop counter as their signal.
+	for w := 1; w < b; w++ {
+		owner := ctx.StaticOwner(w)
+		if holds[owner] == 0 && obs[w].OwnerDemand > demand[owner] {
+			demand[owner] = obs[w].OwnerDemand
+		}
+		if holds[owner] == 0 && (obs[w].OwnerQueue > 0 || obs[w].OwnerDrops > 0) && demand[owner] <= th.BMax {
+			// Any parked (or fault-dropped) packets at all mean the owner
+			// needs a channel — a zero-bandwidth flow must never starve
+			// forever.
+			demand[owner] = th.BMax + 1e-9
+		}
+	}
+
+	over := c.over[:0]
+	for s := 0; s < b; s++ {
+		if s != c.board && demand[s] > th.BMax && holds[s] < c.maxHold {
+			over = append(over, s)
+		}
+	}
+	c.over = over
+
+	// Pass 1: reclaim — return lent channels to congested owners when the
+	// current holder is not itself congested on that channel (and the
+	// owner's laser survives to drive it).
+	for w := 1; w < b; w++ {
+		e := obs[w]
+		if assign[w] != e.Holder {
+			continue // repaired in pass 0
+		}
+		owner := ctx.StaticOwner(w)
+		if e.Holder != owner && demand[owner] > th.BMax && e.BufUtil <= th.BMax &&
+			ctx.LaserHealthy(owner, w) {
+			assign[w] = owner
+			holds[e.Holder]--
+			holds[owner]++
+		}
+	}
+
+	if len(over) == 0 {
+		return assign
+	}
+
+	// Pass 2: re-allocate completely idle channels to over-utilized flows,
+	// round-robin, rotating the start across windows for fairness.
+	next := int(ctx.Window) % len(over)
+	for w := 1; w < b; w++ {
+		if assign[w] != obs[w].Holder {
+			continue // just reclaimed
+		}
+		e := obs[w]
+		if e.LinkUtil > 0 || e.BufUtil > th.BMin || e.QueueLen > 0 {
+			continue // in use
+		}
+		if demand[e.Holder] > th.BMax {
+			continue // holder is congested elsewhere toward me; keep it
+		}
+		// The holder cannot be in over (checked above), so target differs
+		// from the current holder.
+		var target int
+		found := false
+		for tries := 0; tries < len(over); tries++ {
+			cand := over[next%len(over)]
+			next++
+			// LaserHealthy subsumes CanHold: the candidate must have a
+			// populated, surviving laser for this channel.
+			if holds[cand] < c.maxHold && ctx.LaserHealthy(cand, w) {
+				target = cand
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		assign[w] = target
+		holds[e.Holder]--
+		holds[target]++
+	}
+	return assign
+}

@@ -1,0 +1,608 @@
+package policy
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/power"
+)
+
+func testThresholds() Thresholds {
+	return Thresholds{LMin: 0.7, LMax: 0.9, BMin: 0.0, BMax: 0.3}
+}
+
+func testParams(t *testing.T, board, boards int) Params {
+	t.Helper()
+	return Params{
+		Board:      board,
+		Boards:     boards,
+		Thresholds: testThresholds(),
+		Ladder:     power.PaperLadder(),
+		MaxHold:    4,
+		Window:     2000,
+	}
+}
+
+// testCtx builds a BandwidthCtx for a destination board whose static
+// owner map follows the canonical ring convention owner(w) = (board+w)
+// mod boards, with every laser healthy unless listed in dead.
+func testCtx(board, boards int, window uint64, dead map[[2]int]bool) *BandwidthCtx {
+	return &BandwidthCtx{
+		Window:      window,
+		StaticOwner: func(w int) int { return (board + w) % boards },
+		LaserHealthy: func(s, w int) bool {
+			return !dead[[2]int{s, w}]
+		},
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"ewma", "greedy-off", "oracle-static", "paper"} {
+		if !Known(want) {
+			t.Errorf("Known(%q) = false, want registered", want)
+		}
+	}
+	if !sortedStrings(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	for _, name := range names {
+		pol, err := New(&Spec{Name: name}, testParams(t, 0, 4))
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if got := pol.Name(); got != name {
+			t.Errorf("New(%q).Name() = %q", name, got)
+		}
+	}
+}
+
+func sortedStrings(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	if _, err := New(&Spec{Name: "nope"}, testParams(t, 0, 4)); err == nil {
+		t.Fatal("New(nope) succeeded, want error")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(Paper, func(p Params) Policy { return NewPaper(p) })
+}
+
+func TestNewNilSpecIsPaper(t *testing.T) {
+	pol, err := New(nil, testParams(t, 0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Name() != Paper {
+		t.Fatalf("New(nil).Name() = %q, want %q", pol.Name(), Paper)
+	}
+}
+
+func TestSpecCanonicalName(t *testing.T) {
+	cases := []struct {
+		spec *Spec
+		want string
+	}{
+		{nil, "paper"},
+		{&Spec{}, "paper"},
+		{&Spec{Name: "  PAPER "}, "paper"},
+		{&Spec{Name: "Greedy-Off"}, "greedy-off"},
+	}
+	for _, c := range cases {
+		if got := c.spec.CanonicalName(); got != c.want {
+			t.Errorf("CanonicalName(%+v) = %q, want %q", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := []*Spec{
+		nil,
+		{},
+		{Name: "paper"},
+		{Name: "EWMA", Alpha: 0.25},
+		{Name: "greedy-off", OffMax: 1},
+		{Name: "oracle-static", Headroom: 2},
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", s, err)
+		}
+	}
+	bad := []*Spec{
+		{Name: "unknown-policy"},
+		{Name: "ewma", Alpha: 1.5},
+		{Name: "ewma", Alpha: -0.1},
+		{Name: "greedy-off", OffMax: 2},
+		{Name: "oracle-static", Headroom: 0.5},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", s)
+		}
+	}
+}
+
+func TestSpecCanonical(t *testing.T) {
+	if got := (*Spec)(nil).Canonical(); got != nil {
+		t.Errorf("nil.Canonical() = %+v, want nil", got)
+	}
+	// The paper baseline with default knobs collapses to nil so its
+	// config digest matches a config with no policy at all.
+	for _, s := range []*Spec{{}, {Name: "paper"}, {Name: " Paper "}} {
+		if got := s.Canonical(); got != nil {
+			t.Errorf("Canonical(%+v) = %+v, want nil", s, got)
+		}
+	}
+	// Anything else survives, name canonicalized.
+	c := (&Spec{Name: "EWMA", Alpha: 0.2}).Canonical()
+	if c == nil || c.Name != "ewma" || c.Alpha != 0.2 {
+		t.Errorf("Canonical(EWMA/0.2) = %+v", c)
+	}
+	// Paper with a non-default knob is not the baseline.
+	if got := (&Spec{Name: "paper", Alpha: 0.2}).Canonical(); got == nil {
+		t.Error("Canonical(paper with knobs) = nil, want non-nil")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	if s, err := ParseSpec(""); err != nil || s != nil {
+		t.Errorf("ParseSpec(\"\") = %+v, %v", s, err)
+	}
+	s, err := ParseSpec("greedy-off")
+	if err != nil || s.CanonicalName() != "greedy-off" {
+		t.Errorf("ParseSpec(greedy-off) = %+v, %v", s, err)
+	}
+	s, err = ParseSpec(`{"name":"ewma","alpha":0.2}`)
+	if err != nil || s.CanonicalName() != "ewma" || s.Alpha != 0.2 {
+		t.Errorf("ParseSpec(json) = %+v, %v", s, err)
+	}
+	for _, bad := range []string{"nope", `{"name":"ewma","alpha":7}`, `{bad json`} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) = nil error, want error", bad)
+		}
+	}
+	if got := (&Spec{Name: "EWMA"}).String(); got != "ewma" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestParamsMaxHold(t *testing.T) {
+	p := testParams(t, 0, 8)
+	p.MaxHold = 0
+	if got := p.maxHold(); got != 7 {
+		t.Errorf("maxHold(0) = %d, want 7", got)
+	}
+	p.MaxHold = 3
+	if got := p.maxHold(); got != 3 {
+		t.Errorf("maxHold(3) = %d, want 3", got)
+	}
+}
+
+func TestPaperPower(t *testing.T) {
+	p := testParams(t, 0, 4)
+	pol := NewPaper(p)
+	lad := p.Ladder
+	cases := []struct {
+		name string
+		obs  LinkObs
+		want int
+	}{
+		{"off-holds", LinkObs{Level: 0}, 0},
+		{"idle-shuts", LinkObs{Level: 2}, 0},
+		{"queued-holds-top", LinkObs{Level: lad.Top(), LinkUtil: 0, QueueLen: 3}, lad.Down(lad.Top())}, // linkUtil 0 < LMin
+		{"busy-low-util-down", LinkObs{Level: 2, LinkUtil: 0.5}, 1},
+		{"bottom-holds", LinkObs{Level: 1, LinkUtil: 0.5}, 1},
+		{"congested-up", LinkObs{Level: 2, LinkUtil: 0.95, BufUtil: 0.5}, 3},
+		{"top-holds", LinkObs{Level: 3, LinkUtil: 0.95, BufUtil: 0.5}, 3},
+		{"band-holds", LinkObs{Level: 2, LinkUtil: 0.8}, 2},
+		{"high-util-low-buf-holds", LinkObs{Level: 2, LinkUtil: 0.95, BufUtil: 0.1}, 2},
+		{"live-queue-blocks-shutdown", LinkObs{Level: 1, LiveQueue: 2}, 1},
+		{"busy-blocks-shutdown", LinkObs{Level: 1, Busy: true}, 1},
+	}
+	for _, c := range cases {
+		if got := pol.Power(c.obs); got != c.want {
+			t.Errorf("%s: Power(%+v) = %d, want %d", c.name, c.obs, got, c.want)
+		}
+	}
+}
+
+func TestPaperBandwidthGrantAndReclaim(t *testing.T) {
+	const b = 4
+	p := testParams(t, 0, b)
+	pol := NewPaper(p)
+
+	// Window 1: channel 1's holder (board 1, the static owner) is
+	// congested (BufUtil > BMax); channel 2 is completely idle and its
+	// holder (board 2) is not congested -> granted to board 1. Channel 3
+	// stays with its busy holder.
+	obs := []ChanObs{
+		{},
+		{Holder: 1, LinkUtil: 0.9, BufUtil: 0.8, QueueLen: 4},
+		{Holder: 2, LinkUtil: 0, BufUtil: 0, QueueLen: 0},
+		{Holder: 3, LinkUtil: 0.5, BufUtil: 0.1},
+	}
+	assign := pol.Bandwidth(testCtx(0, b, 1, nil), obs, []int{0, 1, 2, 3})
+	if want := []int{0, 1, 1, 3}; !reflect.DeepEqual(assign, want) {
+		t.Fatalf("grant: assign = %v, want %v", assign, want)
+	}
+
+	// Window 2: board 1 still holds channel 2 but is no longer congested
+	// there, while channel 2's static owner (board 2) is congested on its
+	// remaining traffic -> reclaim returns it.
+	obs = []ChanObs{
+		{},
+		{Holder: 1, LinkUtil: 0.2, BufUtil: 0.1},
+		{Holder: 1, LinkUtil: 0, BufUtil: 0},
+		{Holder: 3, LinkUtil: 0.5, BufUtil: 0.1},
+	}
+	// Owner demand: board 2 is starving for channel 2 (it holds nothing
+	// and has queued packets on its static laser).
+	obs[2].OwnerDemand = 0.9
+	obs[2].OwnerQueue = 3
+	assign = pol.Bandwidth(testCtx(0, b, 2, nil), obs, []int{0, 1, 1, 3})
+	if assign[2] != 2 {
+		t.Fatalf("reclaim: assign = %v, want channel 2 back at board 2", assign)
+	}
+}
+
+func TestPaperBandwidthFaultRepair(t *testing.T) {
+	const b = 4
+	p := testParams(t, 0, b)
+	pol := NewPaper(p)
+	// Channel 1's holder is board 1 (static owner) and its laser died
+	// permanently: repair must move the channel to the next surviving
+	// laser in ring order (board 2), counting one repair.
+	obs := []ChanObs{
+		{},
+		{Holder: 1, Dead: true},
+		{Holder: 2},
+		{Holder: 3},
+	}
+	ctx := testCtx(0, b, 1, map[[2]int]bool{{1, 1}: true})
+	assign := pol.Bandwidth(ctx, obs, []int{0, 1, 2, 3})
+	if assign[1] != 2 {
+		t.Fatalf("repair: assign = %v, want channel 1 moved to board 2", assign)
+	}
+	if ctx.Repairs != 1 {
+		t.Fatalf("repair: Repairs = %d, want 1", ctx.Repairs)
+	}
+
+	// No survivor at all: the channel stays (and no repair is counted).
+	ctx = testCtx(0, b, 1, map[[2]int]bool{{1, 1}: true, {2, 1}: true, {3, 1}: true})
+	ctx.Repairs = 0
+	assign = pol.Bandwidth(ctx, obs, []int{0, 1, 2, 3})
+	if assign[1] != 1 || ctx.Repairs != 0 {
+		t.Fatalf("no-survivor: assign = %v repairs = %d", assign, ctx.Repairs)
+	}
+}
+
+func TestPaperBandwidthDropStarvation(t *testing.T) {
+	const b = 4
+	p := testParams(t, 0, b)
+	pol := NewPaper(p)
+	// Board 1 holds nothing toward board 0 (its static channel 1 was
+	// lent to board 3) and its only demand signal is fault drops: it
+	// must still be classified as congested and get a channel back.
+	obs := []ChanObs{
+		{},
+		{Holder: 3, LinkUtil: 0, BufUtil: 0, OwnerDrops: 5},
+		{Holder: 2, LinkUtil: 0.8, BufUtil: 0.2},
+		{Holder: 3, LinkUtil: 0.8, BufUtil: 0.2},
+	}
+	assign := pol.Bandwidth(testCtx(0, b, 1, nil), obs, []int{0, 3, 2, 3})
+	if assign[1] != 1 {
+		t.Fatalf("drop-starvation: assign = %v, want channel 1 back at board 1", assign)
+	}
+}
+
+func TestGreedyOffPower(t *testing.T) {
+	p := testParams(t, 0, 4)
+	pol := NewGreedyOff(p)
+	lad := p.Ladder
+	cases := []struct {
+		name string
+		obs  LinkObs
+		want int
+	}{
+		{"off-holds", LinkObs{Level: 0}, 0},
+		{"idle-now-shuts", LinkObs{Level: 3, LinkUtil: 0.3}, 0},
+		{"idle-but-recently-busy-scales-down", LinkObs{Level: 3, LinkUtil: 0.8}, 2},
+		{"busy-scales-down", LinkObs{Level: 2, LinkUtil: 0.5, LiveQueue: 1}, 1},
+		{"congested-up", LinkObs{Level: 2, LinkUtil: 0.95, BufUtil: 0.5, LiveQueue: 1}, 3},
+		{"bottom-busy-holds", LinkObs{Level: 1, LinkUtil: 0.95, BufUtil: 0.1, Busy: true}, 1},
+	}
+	for _, c := range cases {
+		if got := pol.Power(c.obs); got != c.want {
+			t.Errorf("%s: Power(%+v) = %d, want %d", c.name, c.obs, got, c.want)
+		}
+	}
+	if pol.Name() != "greedy-off" {
+		t.Errorf("Name() = %q", pol.Name())
+	}
+	_ = lad
+}
+
+func TestGreedyOffOffMaxKnob(t *testing.T) {
+	p := testParams(t, 0, 4)
+	p.Spec = Spec{Name: "greedy-off", OffMax: 0.1}
+	pol := NewGreedyOff(p)
+	// Link util above the ceiling: the relock tax is judged too high, so
+	// the laser scales down instead of shutting off.
+	if got := pol.Power(LinkObs{Level: 2, LinkUtil: 0.3}); got != 1 {
+		t.Errorf("OffMax=0.1: Power = %d, want 1 (scale down, not off)", got)
+	}
+}
+
+func TestEWMAFoldSnapsToZero(t *testing.T) {
+	p := testParams(t, 0, 4)
+	p.Spec = Spec{Name: "ewma", Alpha: 0.5}
+	pol := NewEWMA(p)
+	// First observation seeds; repeated zero samples must reach exactly
+	// zero (the DBR idle classification tests == 0).
+	obs := LinkObs{Wavelength: 1, Dest: 2, Level: 2, LinkUtil: 0.8, BufUtil: 0.2, LiveQueue: 1}
+	pol.Power(obs)
+	idle := LinkObs{Wavelength: 1, Dest: 2, Level: 2}
+	for i := 0; i < 20; i++ {
+		pol.Power(idle)
+	}
+	if pol.link[1][2] != 0 {
+		t.Fatalf("smoothed link util = %v after 20 idle windows, want exactly 0", pol.link[1][2])
+	}
+	if got := pol.Power(idle); got != 0 {
+		t.Fatalf("Power(idle, zero trend) = %d, want 0 (shutdown)", got)
+	}
+}
+
+func TestEWMAPower(t *testing.T) {
+	p := testParams(t, 0, 4)
+	pol := NewEWMA(p)
+	lad := p.Ladder
+	// Off lasers hold.
+	if got := pol.Power(LinkObs{Wavelength: 1, Dest: 1, Level: 0}); got != 0 {
+		t.Fatalf("off: got %d", got)
+	}
+	// Sustained buffer pressure plans the top.
+	if got := pol.Power(LinkObs{Wavelength: 1, Dest: 2, Level: 1, LinkUtil: 0.9, BufUtil: 0.9, LiveQueue: 1}); got != lad.Top() {
+		t.Fatalf("buf pressure: got %d, want top", got)
+	}
+	// Low demand at top rate jumps straight to the lowest adequate level
+	// (not one rung): demand 0.1*5 = 0.5 Gbps <= 0.9*2.5.
+	if got := pol.Power(LinkObs{Wavelength: 2, Dest: 2, Level: lad.Top(), LinkUtil: 0.1, LiveQueue: 1}); got != lad.Bottom() {
+		t.Fatalf("low demand: got %d, want bottom", got)
+	}
+}
+
+func TestEWMABandwidthSmoothsButPassesFaultsThrough(t *testing.T) {
+	const b = 4
+	p := testParams(t, 0, b)
+	p.Spec = Spec{Name: "ewma", Alpha: 0.5}
+	pol := NewEWMA(p)
+	// A dead channel must be repaired immediately even though its
+	// smoothed utilization is still warm from earlier windows.
+	warm := []ChanObs{
+		{},
+		{Holder: 1, LinkUtil: 0.8, BufUtil: 0.2},
+		{Holder: 2, LinkUtil: 0.5, BufUtil: 0.1},
+		{Holder: 3, LinkUtil: 0.5, BufUtil: 0.1},
+	}
+	pol.Bandwidth(testCtx(0, b, 1, nil), warm, []int{0, 1, 2, 3})
+	deadObs := []ChanObs{
+		{},
+		{Holder: 1, LinkUtil: 0, BufUtil: 0, Dead: true},
+		{Holder: 2, LinkUtil: 0.5, BufUtil: 0.1},
+		{Holder: 3, LinkUtil: 0.5, BufUtil: 0.1},
+	}
+	ctx := testCtx(0, b, 2, map[[2]int]bool{{1, 1}: true})
+	assign := pol.Bandwidth(ctx, deadObs, []int{0, 1, 2, 3})
+	if assign[1] == 1 || ctx.Repairs != 1 {
+		t.Fatalf("dead channel not repaired: assign = %v repairs = %d", assign, ctx.Repairs)
+	}
+}
+
+func TestProfilerAndBuildProfile(t *testing.T) {
+	const b = 3
+	profilers := make([]*Profiler, b)
+	for s := 0; s < b; s++ {
+		profilers[s] = NewProfiler(testParams(t, s, b))
+	}
+	pr := profilers[0]
+	// Power holds the level and accumulates demand for lit lasers only.
+	if got := pr.Power(LinkObs{Wavelength: 1, Dest: 1, Level: 3, LinkUtil: 0.4}); got != 3 {
+		t.Fatalf("Profiler.Power = %d, want hold 3", got)
+	}
+	pr.Power(LinkObs{Wavelength: 1, Dest: 1, Level: 3, LinkUtil: 0.8})
+	pr.Power(LinkObs{Wavelength: 2, Dest: 1, Level: 0, LinkUtil: 0.9}) // off: not accumulated
+	// Bandwidth holds the assignment and accumulates channel stats.
+	obs := []ChanObs{{}, {Holder: 1, LinkUtil: 0.5, BufUtil: 0.4}, {Holder: 2, LinkUtil: 0, BufUtil: 0}}
+	assign := pr.Bandwidth(testCtx(0, b, 1, nil), obs, []int{0, 1, 2})
+	if !reflect.DeepEqual(assign, []int{0, 1, 2}) {
+		t.Fatalf("Profiler.Bandwidth changed the assignment: %v", assign)
+	}
+	if pr.Name() != "profile" {
+		t.Fatalf("Profiler.Name = %q", pr.Name())
+	}
+
+	prof := BuildProfile(profilers)
+	lad := power.PaperLadder()
+	wantDemand := (0.4 + 0.8) / 2 * lad.Gbps(3)
+	if got := prof.OutDemandGbps[0][1][1]; !close(got, wantDemand) {
+		t.Errorf("OutDemandGbps[0][1][1] = %v, want %v", got, wantDemand)
+	}
+	if got := prof.OutDemandGbps[0][2][1]; got != -1 {
+		t.Errorf("unobserved laser demand = %v, want -1", got)
+	}
+	if got := prof.InBuf[0][1]; !close(got, 0.4) {
+		t.Errorf("InBuf[0][1] = %v, want 0.4", got)
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+func TestOracleFixedLevels(t *testing.T) {
+	const b = 3
+	lad := power.PaperLadder()
+	prof := &Profile{
+		Boards:        b,
+		OutDemandGbps: fill3(b, -1),
+		OutBuf:        fill3(b, -1),
+		InLink:        fill2(b, 0),
+		InBuf:         fill2(b, 0),
+	}
+	// Laser (1,1): zero demand -> planned dark.
+	prof.OutDemandGbps[0][1][1] = 0
+	prof.OutBuf[0][1][1] = 0
+	// Laser (1,2): light demand -> lowest adequate level with headroom.
+	// 1.25 * 1.0 Gbps = 1.25 <= 0.9 * 2.5 -> bottom.
+	prof.OutDemandGbps[0][1][2] = 1.0
+	prof.OutBuf[0][1][2] = 0.1
+	// Laser (2,1): profiled buffer pressure -> top.
+	prof.OutDemandGbps[0][2][1] = 2.0
+	prof.OutBuf[0][2][1] = 0.8
+	pol := NewOracleStatic(testParams(t, 0, b), prof)
+	if got := pol.Power(LinkObs{Wavelength: 1, Dest: 1, Level: 2}); got != 0 {
+		t.Errorf("zero-demand laser: Power = %d, want 0", got)
+	}
+	if got := pol.Power(LinkObs{Wavelength: 1, Dest: 2, Level: 3}); got != lad.Bottom() {
+		t.Errorf("light laser: Power = %d, want bottom", got)
+	}
+	if got := pol.Power(LinkObs{Wavelength: 2, Dest: 1, Level: 1}); got != lad.Top() {
+		t.Errorf("pressured laser: Power = %d, want top", got)
+	}
+	// Unobserved laser: hold whatever level it is at.
+	if got := pol.Power(LinkObs{Wavelength: 2, Dest: 2, Level: 2}); got != 2 {
+		t.Errorf("unobserved laser: Power = %d, want hold 2", got)
+	}
+}
+
+func TestOracleBandwidthPlan(t *testing.T) {
+	const b = 4
+	prof := &Profile{
+		Boards:        b,
+		OutDemandGbps: fill3(b, -1),
+		OutBuf:        fill3(b, -1),
+		InLink:        fill2(b, 0),
+		InBuf:         fill2(b, 0),
+	}
+	// Static owners toward board 0: owner(w) = w. Board 1 was congested
+	// in the profile; channels 2 and 3 were completely idle.
+	prof.InBuf[0][1] = 0.8
+	prof.InLink[0][1] = 0.9
+	pol := NewOracleStatic(testParams(t, 0, b), prof)
+	obs := []ChanObs{{}, {Holder: 1}, {Holder: 2}, {Holder: 3}}
+	assign := pol.Bandwidth(testCtx(0, b, 1, nil), obs, []int{0, 1, 2, 3})
+	if assign[1] != 1 {
+		t.Fatalf("congested owner lost its channel: %v", assign)
+	}
+	if assign[2] != 1 || assign[3] != 1 {
+		t.Fatalf("idle channels not granted to the congested flow: %v", assign)
+	}
+	// The plan is fixed: the same grants re-assert on a later window
+	// regardless of current holders.
+	obs = []ChanObs{{}, {Holder: 1}, {Holder: 2}, {Holder: 1}}
+	assign = pol.Bandwidth(testCtx(0, b, 7, nil), obs, []int{0, 1, 2, 1})
+	if assign[2] != 1 || assign[3] != 1 {
+		t.Fatalf("fixed plan not re-asserted: %v", assign)
+	}
+}
+
+func TestOracleBandwidthRepair(t *testing.T) {
+	const b = 4
+	pol := NewOracleStatic(testParams(t, 0, b), nil)
+	// Nil profile: static behavior, keep the current holders...
+	obs := []ChanObs{{}, {Holder: 3}, {Holder: 2}, {Holder: 3}}
+	ctx := testCtx(0, b, 1, nil)
+	assign := pol.Bandwidth(ctx, obs, []int{0, 3, 2, 3})
+	if !reflect.DeepEqual(assign, []int{0, 3, 2, 3}) {
+		t.Fatalf("nil-profile oracle moved channels: %v", assign)
+	}
+	// ...unless the holder's laser died: then route to a survivor and
+	// count the repair.
+	obs[1].Dead = true
+	ctx = testCtx(0, b, 2, map[[2]int]bool{{3, 1}: true})
+	assign = pol.Bandwidth(ctx, obs, []int{0, 3, 2, 3})
+	if assign[1] != 1 || ctx.Repairs != 1 {
+		t.Fatalf("dead holder not repaired: assign = %v repairs = %d", assign, ctx.Repairs)
+	}
+	// No survivor anywhere: leave the channel alone.
+	ctx = testCtx(0, b, 3, map[[2]int]bool{{1, 1}: true, {2, 1}: true, {3, 1}: true})
+	assign = pol.Bandwidth(ctx, obs, []int{0, 3, 2, 3})
+	if assign[1] != 3 || ctx.Repairs != 0 {
+		t.Fatalf("no-survivor: assign = %v repairs = %d", assign, ctx.Repairs)
+	}
+}
+
+func TestOracleMaxHoldRespected(t *testing.T) {
+	const b = 5
+	prof := &Profile{
+		Boards:        b,
+		OutDemandGbps: fill3(b, -1),
+		OutBuf:        fill3(b, -1),
+		InLink:        fill2(b, 0),
+		InBuf:         fill2(b, 0),
+	}
+	prof.InBuf[0][1] = 0.9 // board 1 congested; channels 2..4 idle
+	p := testParams(t, 0, b)
+	p.MaxHold = 2
+	pol := NewOracleStatic(p, prof)
+	obs := []ChanObs{{}, {Holder: 1}, {Holder: 2}, {Holder: 3}, {Holder: 4}}
+	assign := pol.Bandwidth(testCtx(0, b, 1, nil), obs, []int{0, 1, 2, 3, 4})
+	held := 0
+	for w := 1; w < b; w++ {
+		if assign[w] == 1 {
+			held++
+		}
+	}
+	if held != 2 {
+		t.Fatalf("MaxHold=2 violated: board 1 holds %d channels (%v)", held, assign)
+	}
+}
+
+func fill3(b int, v float64) [][][]float64 {
+	out := make([][][]float64, b)
+	for s := range out {
+		out[s] = make([][]float64, b)
+		for w := 1; w < b; w++ {
+			out[s][w] = make([]float64, b)
+			for d := range out[s][w] {
+				out[s][w][d] = v
+			}
+		}
+	}
+	return out
+}
+
+func fill2(b int, v float64) [][]float64 {
+	out := make([][]float64, b)
+	for s := range out {
+		out[s] = make([]float64, b)
+		for w := range out[s] {
+			out[s][w] = v
+		}
+	}
+	return out
+}
+
+func TestValidateErrorMentionsKnownPolicies(t *testing.T) {
+	err := (&Spec{Name: "bogus"}).Validate()
+	if err == nil || !strings.Contains(err.Error(), "paper") {
+		t.Fatalf("unknown-policy error should list registered names, got %v", err)
+	}
+}

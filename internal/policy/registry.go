@@ -1,0 +1,56 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Factory builds one board's policy instance.
+type Factory func(p Params) Policy
+
+// registry maps canonical policy names to factories. It is written
+// only from package init functions, so reads need no locking.
+var registry = map[string]Factory{}
+
+// Register adds a policy factory under a canonical (lower-case) name.
+// Registering a duplicate name panics: the conformance suite derives
+// its coverage from this table, so collisions must fail loudly.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("policy: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// Known reports whether name (canonical form) is registered.
+func Known(name string) bool {
+	_, ok := registry[name]
+	return ok
+}
+
+// Names returns every registered policy name, sorted. The conformance
+// suite iterates this list, so a newly registered policy picks up the
+// full test battery without any test changes.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// New builds a policy instance for the spec (nil spec = paper). The
+// spec must have passed Validate; unknown names return an error rather
+// than panic so config validation failures surface as such.
+func New(spec *Spec, p Params) (Policy, error) {
+	name := spec.CanonicalName()
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q", name)
+	}
+	if spec != nil {
+		p.Spec = *spec
+	}
+	return f(p), nil
+}

@@ -1,0 +1,117 @@
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Spec selects and tunes a reconfiguration policy in a Config document.
+// The zero value (and a nil *Spec) means the paper baseline. Tuning
+// knobs are optional; a zero value selects the policy's documented
+// default, and the canonical form omits zero-valued knobs.
+type Spec struct {
+	// Name is the registered policy name ("paper", "greedy-off", "ewma",
+	// "oracle-static"); matching is case-insensitive and "" means paper.
+	Name string `json:"name"`
+	// Alpha is the EWMA smoothing factor in (0,1]; 0 selects 0.4. Higher
+	// values track the latest window more closely.
+	Alpha float64 `json:"alpha,omitempty"`
+	// OffMax is greedy-off's shutdown ceiling: a laser that is idle at
+	// decision time is switched off only while its previous-window link
+	// utilization is at or below OffMax. 0 selects 0.5; 1 shuts every
+	// momentarily idle laser.
+	OffMax float64 `json:"off_max,omitempty"`
+	// Headroom is oracle-static's capacity margin: the fixed level is the
+	// lowest whose line rate covers Headroom x the profiled demand. Must
+	// be >= 1; 0 selects 1.25.
+	Headroom float64 `json:"headroom,omitempty"`
+}
+
+// Tuning-knob defaults, materialized by the policies (not the canonical
+// encoding, which keeps zero values omitted).
+const (
+	DefaultAlpha    = 0.4
+	DefaultOffMax   = 0.5
+	DefaultHeadroom = 1.25
+)
+
+// Paper is the paper-baseline policy name.
+const Paper = "paper"
+
+// CanonicalName returns the spec's registered policy name in canonical
+// form: trimmed, lower-cased, "" mapped to "paper". It does not check
+// registration; Validate does.
+func (s *Spec) CanonicalName() string {
+	if s == nil {
+		return Paper
+	}
+	name := strings.ToLower(strings.TrimSpace(s.Name))
+	if name == "" {
+		return Paper
+	}
+	return name
+}
+
+// Validate checks the spec against the registry and the knob domains.
+func (s *Spec) Validate() error {
+	if s == nil {
+		return nil
+	}
+	name := s.CanonicalName()
+	if !Known(name) {
+		return fmt.Errorf("policy: unknown policy %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	switch {
+	case s.Alpha < 0 || s.Alpha > 1:
+		return fmt.Errorf("policy: alpha %v outside [0,1] (0 = default %v)", s.Alpha, DefaultAlpha)
+	case s.OffMax < 0 || s.OffMax > 1:
+		return fmt.Errorf("policy: off_max %v outside [0,1] (0 = default %v)", s.OffMax, DefaultOffMax)
+	case s.Headroom != 0 && s.Headroom < 1:
+		return fmt.Errorf("policy: headroom %v must be >= 1 (0 = default %v)", s.Headroom, DefaultHeadroom)
+	}
+	return nil
+}
+
+// Canonical returns the spec in canonical form: nil when it describes
+// the paper baseline with default knobs (so the canonical Config JSON
+// — and therefore the service cache digest — of a paper run is
+// byte-identical to a config with no policy at all), otherwise a copy
+// with the name canonicalized. Knob values are preserved as given;
+// zero values are already the omitted defaults.
+func (s *Spec) Canonical() *Spec {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.Name = s.CanonicalName()
+	if c == (Spec{Name: Paper}) {
+		return nil
+	}
+	return &c
+}
+
+// String renders the spec for labels and tables: the canonical name.
+func (s *Spec) String() string { return s.CanonicalName() }
+
+// ParseSpec parses a policy selector: either a bare policy name
+// ("greedy-off") or a JSON spec document ({"name":"ewma","alpha":0.2}).
+// The result is validated.
+func ParseSpec(text string) (*Spec, error) {
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return nil, nil
+	}
+	var s Spec
+	if strings.HasPrefix(text, "{") {
+		if err := json.Unmarshal([]byte(text), &s); err != nil {
+			return nil, fmt.Errorf("policy: parsing spec: %w", err)
+		}
+	} else {
+		s.Name = text
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -1,0 +1,78 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sweep"
+)
+
+func fakeComparison() sweep.Comparison {
+	mk := func(name string, supply, lat, avail float64, pareto bool) sweep.PolicyOutcome {
+		return sweep.PolicyOutcome{
+			Policy: name,
+			Digest: strings.Repeat(name[:1], 64),
+			Result: &core.Result{PowerSupplyMW: supply, AvgLatency: lat, DeliveredFraction: avail},
+			Pareto: pareto,
+		}
+	}
+	cfg := core.DefaultConfig(core.PB)
+	cfg.Pattern = "uniform"
+	return sweep.Comparison{
+		Scenario: sweep.Scenario{Name: "unit", Config: cfg},
+		Outcomes: []sweep.PolicyOutcome{
+			mk("paper", 1100, 450, 1, true),
+			mk("greedy-off", 800, 580, 0.99, true),
+			{Policy: "broken", Err: errors.New("boom")},
+		},
+	}
+}
+
+func TestWriteCompareTable(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCompareTable(&b, []sweep.Comparison{fakeComparison()}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"scenario unit:", "paper", "greedy-off", "1100.0000", "0.990000",
+		"pppppppppppp", // digest truncated to 12 characters
+		"ERROR boom",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, strings.Repeat("p", 13)) {
+		t.Errorf("digest not truncated to 12 characters:\n%s", out)
+	}
+}
+
+func TestWriteParetoSVG(t *testing.T) {
+	var b strings.Builder
+	if err := WriteParetoSVG(&b, fakeComparison()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "unit", "paper *", "greedy-off *",
+		"avg supply power (mW)", "avg latency (cycles)",
+		"0.9900", // availability label appears because one run lost packets
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Contains(out, "broken") {
+		t.Error("SVG plotted a failed outcome")
+	}
+
+	// A comparison with no usable outcomes must error, not emit an
+	// empty plot.
+	empty := sweep.Comparison{Scenario: sweep.Scenario{Name: "empty"}}
+	if err := WriteParetoSVG(&b, empty); err == nil {
+		t.Error("empty comparison produced an SVG")
+	}
+}

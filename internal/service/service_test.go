@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/policy"
 	"repro/internal/telemetry"
 )
 
@@ -183,6 +184,56 @@ func TestResultCacheHit(t *testing.T) {
 	}
 	if s.cache.len() != 1 {
 		t.Fatalf("cache holds %d entries, want 1", s.cache.len())
+	}
+}
+
+// TestPolicyDistinctCache: two submissions differing only in the
+// reconfiguration policy are distinct cache entries with distinct
+// config digests — while the paper policy spelled out explicitly stays
+// on the nil-policy cache line (its canonical form is absence).
+func TestPolicyDistinctCache(t *testing.T) {
+	cfg := fastCfg(core.PB, 7)
+	s := New(Options{Workers: 1})
+	defer shutdown(t, s)
+
+	first, err := s.SubmitRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitDone(t, s, first.ID)
+
+	alt := cfg
+	alt.Policy = &policy.Spec{Name: "greedy-off"}
+	second, err := s.SubmitRun(alt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Cached {
+		t.Fatalf("policy change served from the baseline cache entry: %+v", second)
+	}
+	altDone := waitDone(t, s, second.ID)
+	if altDone.State != StateDone {
+		t.Fatalf("job state %s (error %q), want done", altDone.State, altDone.Error)
+	}
+	if altDone.ConfigDigest == done.ConfigDigest {
+		t.Fatalf("policy change did not change the config digest %s", done.ConfigDigest)
+	}
+	if altDone.ResultDigest == done.ResultDigest {
+		t.Fatal("greedy-off produced byte-identical results to paper; digest distinction is vacuous")
+	}
+	if s.cache.len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", s.cache.len())
+	}
+
+	// Explicit paper spec → same digest, cache hit on the first entry.
+	explicit := cfg
+	explicit.Policy = &policy.Spec{Name: "paper"}
+	third, err := s.SubmitRun(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.Cached || third.ResultDigest != done.ResultDigest {
+		t.Fatalf("explicit paper spec missed the nil-policy cache entry: %+v", third)
 	}
 }
 

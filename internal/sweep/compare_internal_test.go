@@ -1,0 +1,33 @@
+package sweep
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestMarkPareto pins the dominance rule on a hand-built set: strict
+// domination on any axis removes a point, exact ties keep both, and a
+// failed run is never on the frontier.
+func TestMarkPareto(t *testing.T) {
+	mk := func(supply, lat, avail float64) PolicyOutcome {
+		return PolicyOutcome{Result: &core.Result{PowerSupplyMW: supply, AvgLatency: lat, DeliveredFraction: avail}}
+	}
+	outcomes := []PolicyOutcome{
+		mk(100, 50, 1),       // dominated by the next point
+		mk(90, 40, 1),        // frontier
+		mk(80, 60, 1),        // dominated by the cheaper-and-faster last point
+		{Err: os.ErrInvalid}, // failed: never on the frontier
+		mk(90, 40, 1),        // exact tie: both stay (neither strictly better)
+		mk(90, 40, 0.5),      // dominated on availability alone
+		mk(70, 45, 1),        // frontier
+	}
+	markPareto(outcomes)
+	want := []bool{false, true, false, false, true, false, true}
+	for i, o := range outcomes {
+		if o.Pareto != want[i] {
+			t.Errorf("outcome %d: pareto=%v, want %v", i, o.Pareto, want[i])
+		}
+	}
+}

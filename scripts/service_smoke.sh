@@ -123,6 +123,26 @@ print(f"metrics verified: cache hits {hits_before:g} -> {hits_after:g}, "
       f"{len(fam_a)} families parse clean")
 '
 
+# A config differing ONLY in the reconfiguration policy must be a new
+# simulation with a distinct result digest — never a cache hit on the
+# baseline entry (the policy participates in the content digest).
+POLICY_CFG="${CFG%\}},\"Policy\":{\"name\":\"greedy-off\"}}"
+POLICY_ID=$(curl -fsS -d "$POLICY_CFG" "http://$ADDR/v1/runs" | python3 -c '
+import sys, json
+j = json.load(sys.stdin)
+assert not j.get("cached"), f"policy change served from cache: {j}"
+print(j["id"])
+')
+curl -fsSN "http://$ADDR/v1/jobs/$POLICY_ID/events" >/dev/null
+curl -fsS "http://$ADDR/v1/jobs/$POLICY_ID" | DIGEST="$DIGEST" python3 -c '
+import sys, json, os
+j = json.load(sys.stdin)
+assert j["state"] == "done", j
+d = j["result_digest"]
+assert d != os.environ["DIGEST"], f"policy run repeated the baseline digest {d}"
+print("policy digest distinction verified:", d)
+'
+
 # The admin listener repeats /metrics and serves the pprof index.
 curl -fsS "http://$ADMIN_ADDR/metrics" | grep -q '^# TYPE erapid_jobs_submitted_total counter$'
 curl -fsS "http://$ADMIN_ADDR/debug/pprof/" | grep -qi profile
