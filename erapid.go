@@ -113,6 +113,12 @@ type Result = core.Result
 // System is an assembled network for custom cycle-by-cycle drivers.
 type System = core.System
 
+// Runner executes runs back-to-back, transparently reusing one pooled
+// System across structurally compatible configurations via
+// System.Reset. The zero value is ready to use; it is not safe for
+// concurrent use — give each worker goroutine its own.
+type Runner = core.Runner
+
 // Modes returns the four configurations in the paper's order.
 func Modes() []Mode { return core.Modes() }
 

@@ -1,20 +1,49 @@
-// Deterministic intra-run parallelism: the system side of the two-phase
-// compute/commit cycle engine.
+// Deterministic intra-run parallelism: the system side of the pipelined
+// speculative compute/commit cycle engine.
 //
-// A cycle in parallel mode runs as
+// Five logical phases make up a cycle in parallel mode:
 //
-//	serial head    engine events (LS control), due optical deliveries,
-//	               fault strikes, measurement advance, metering switch
-//	compute A      per shard: injector RNG draws (independent per-node
-//	               streams) into each board's draw outbox
-//	serial middle  packet admission in global node order: IDs, labeling,
-//	               pool recycling, inject events, NIC enqueue
-//	compute B      per shard: NIC ticks, rx ticks, IBI tick, fabric
-//	               board tick — board-local state only, shared effects
-//	               deferred into per-board outboxes
-//	serial commit  outboxes drained in ascending board order (NIC
-//	               net-enter events, deliveries, fabric side effects),
-//	               then the history/telemetry observers
+//	head    engine events (LS control), due optical deliveries, fault
+//	        strikes, measurement advance, metering switch
+//	draw    per shard: injector RNG draws (independent per-node streams)
+//	        into each board's draw outbox
+//	admit   packet admission in global node order: IDs, labeling, pool
+//	        recycling, inject events, NIC enqueue
+//	tick    per shard: NIC ticks, rx ticks, IBI tick, fabric board tick
+//	        — board-local state only, shared effects deferred into
+//	        per-board outboxes
+//	commit  outboxes drained in ascending board order (NIC net-enter
+//	        events, deliveries, fabric side effects), then the
+//	        history/telemetry observers
+//
+// The schedule is *pipelined*: the phases of consecutive cycles overlap,
+// which packs the five phases into TWO barrier crossings per
+// steady-state cycle (down from four in the unpipelined engine):
+//
+//	parallel section   tick(c) then speculative draw(c+1), per shard
+//	barrier
+//	serial section     commit(c); head(c+1); admit(c+1); begin-tick
+//	barrier
+//
+// The speculative draw is sound because injector draws are
+// state-independent: each node's decision sequence depends only on its
+// own derived RNG stream, which nothing in head/tick/commit ever reads
+// or writes. Drawing cycle c+1 while cycle c is still ticking therefore
+// consumes exactly the stream positions the serial engine would consume
+// at c+1 — bit-identical, including the Lock-Step exchange at window
+// boundaries (head) that runs serially *after* the draws were staged.
+// The one thing that can invalidate staged draws is a parameter change
+// on the injectors themselves (SetInjectionRate): each speculative draw
+// snapshots the injector's pre-draw state into its board outbox, and
+// invalidateSpec rewinds every stream to its snapshot so the next epoch
+// redraws under the new parameters. LS level decisions and fault
+// strikes never touch the streams, so they never force a discard.
+//
+// Staged draws also carry *across* epochs: the last tick phase of an
+// epoch pre-draws the first cycle of the next one, and stepEpoch
+// publishes the staged state (specFor) so the next dispatch skips its
+// entry draw — a Run's steady window-to-window hand-off keeps the
+// pipeline full.
 //
 // Every serial sub-order above matches the order the serial step visits
 // the same points in (the serial step iterates NICs in node order,
@@ -27,13 +56,12 @@
 // workers ONE closure per epoch (a run of cycles up to the next
 // reconfiguration-window boundary, the cycle limit, or measurement
 // Done); within the epoch the workers stay resident and synchronize
-// with a spin barrier at each phase edge — four barrier crossings per
-// steady-state cycle, zero channel operations. The serial phases all
-// run on worker 0 (the caller) between barriers; the cycle-c commit and
-// the cycle-c+1 head share one serial section, which is what merges the
-// loop-back edge into four barriers instead of five. Cycle-grain pool
-// dispatch (two channel round-trips per cycle) cost more than the
-// compute it bought on small configs; see DESIGN.md for the numbers.
+// with a spin barrier at each phase edge, zero channel operations. The
+// serial phases all run on worker 0 (the caller) between barriers. At
+// epoch entry, worker 0 runs the first cycle's serial head (at window
+// boundaries that is the whole LS/commit exchange) while the other
+// workers pre-draw the first cycle's injections in parallel — unless a
+// previous epoch already staged them.
 package core
 
 import (
@@ -41,12 +69,13 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
+	"repro/internal/traffic"
 )
 
-// injDraw is one positive injector decision from compute phase A.
+// injDraw is one positive injector decision from a draw phase.
 type injDraw struct{ node, dst int32 }
 
-// pendingDeliver is one packet ejected during compute phase B, awaiting
+// pendingDeliver is one packet ejected during a tick phase, awaiting
 // its serial delivery accounting.
 type pendingDeliver struct {
 	p  *flit.Packet
@@ -55,25 +84,30 @@ type pendingDeliver struct {
 
 // boardOutbox is one board's deferred core-layer side effects for the
 // in-flight cycle, owned exclusively by the board's worker during
-// compute phases and drained serially at commit. Backing arrays are
+// parallel phases and drained serially at commit. Backing arrays are
 // retained across cycles. netEnter stores only packet IDs: the event's
 // cycle is the committing cycle and its board is the outbox index, so
-// one word per event suffices. The pad keeps adjacent boards' slice
-// headers off a shared cache line.
+// one word per event suffices. preDraw holds the board's injectors'
+// pre-draw state snapshots (node order) for the staged speculative
+// draws, so invalidateSpec can rewind them. The pad keeps adjacent
+// boards' slice headers off a shared cache line.
 type boardOutbox struct {
 	draws     []injDraw
 	netEnter  []uint64
 	delivered []pendingDeliver
-	_         [56]byte
+	preDraw   []traffic.State
+	_         [32]byte
 }
 
 // parState is the parallel-stepping state: the worker pool, the static
-// board shard assignment, one outbox per board, and the epoch cursor.
+// board shard assignment, one outbox per board, the epoch cursor and
+// the speculation bookkeeping.
 //
 // The scalar fields (now, end, stop, computing) are written only by
 // worker 0 inside the serial sections between barriers; the barriers
 // publish them to the other workers (sequenced atomics, recognized by
-// the race detector), so plain loads suffice.
+// the race detector), so plain loads suffice. The spec fields are
+// touched only outside Epoch dispatches (stepEpoch and driver calls).
 type parState struct {
 	pool *sim.Pool
 	body func(id int)
@@ -87,10 +121,18 @@ type parState struct {
 	now, end  uint64
 	stop      bool
 
+	// specHave marks that the outboxes hold staged draws for cycle
+	// specFor (always the next cycle to simulate, unless a driver
+	// mutated the injectors in between); entrySkipDraw tells the next
+	// epoch's entry to consume them instead of drawing.
+	specHave      bool
+	specFor       uint64
+	entrySkipDraw bool
+
 	outboxes []boardOutbox
 }
 
-// enableParallel switches the system to two-phase epoch stepping with
+// enableParallel switches the system to pipelined epoch stepping with
 // the given worker count (clamped to the board count — boards are the
 // shard unit).
 func (s *System) enableParallel(workers int) {
@@ -101,6 +143,10 @@ func (s *System) enableParallel(workers int) {
 	par := &parState{
 		pool:     sim.NewPool(workers),
 		outboxes: make([]boardOutbox, nb),
+	}
+	d := s.top.NodesPerBoard()
+	for bi := range par.outboxes {
+		par.outboxes[bi].preDraw = make([]traffic.State, d)
 	}
 	workers = par.pool.Workers()
 	par.shardLo = make([]int, workers)
@@ -138,7 +184,7 @@ func (s *System) Close() {
 	}
 }
 
-// drawBoard runs compute phase A for one board: step the board's
+// drawBoard runs a draw phase for one board: step the board's
 // injectors (each on its own derived RNG stream) and record the
 // positive draws, in node order, in the board's outbox.
 func (s *System) drawBoard(bi int) {
@@ -154,7 +200,62 @@ func (s *System) drawBoard(bi int) {
 	ob.draws = draws
 }
 
-// tickBoardCompute runs compute phase B for one board, in the serial
+// drawBoardSpec is drawBoard with pre-draw state snapshots: the staged
+// draws may outlive the epoch (or be invalidated by a rate change
+// before admission), so each injector's state is saved first, giving
+// invalidateSpec an exact rewind point.
+func (s *System) drawBoardSpec(bi int) {
+	base := s.top.NodeID(0, bi, 0)
+	d := s.top.NodesPerBoard()
+	ob := &s.par.outboxes[bi]
+	draws := ob.draws[:0]
+	for i, n := 0, base; i < d; i, n = i+1, n+1 {
+		src := s.injectors[n]
+		ob.preDraw[i] = src.Save()
+		if dst, ok := src.Step(); ok {
+			draws = append(draws, injDraw{node: int32(n), dst: int32(dst)})
+		}
+	}
+	ob.draws = draws
+}
+
+// invalidateSpec discards staged speculative draws: every injector is
+// rewound to its pre-draw snapshot and the staged decisions are
+// dropped, so the next epoch redraws the cycle under whatever injector
+// parameters apply then. Called on any injector mutation
+// (SetInjectionRate) and on Reset; a no-op when nothing is staged.
+func (s *System) invalidateSpec() {
+	par := s.par
+	if par == nil || !par.specHave {
+		return
+	}
+	par.specHave = false
+	for bi := range par.outboxes {
+		ob := &par.outboxes[bi]
+		base := s.top.NodeID(0, bi, 0)
+		for i := range ob.preDraw {
+			s.injectors[base+i].Restore(ob.preDraw[i])
+		}
+		ob.draws = ob.draws[:0]
+	}
+}
+
+// admit drains the staged draws for cycle now in ascending board order
+// (contiguous ascending board shards keep each outbox in node order, so
+// this reproduces the serial injectAll sequence) and opens the fabric's
+// next board tick. Serial sections only.
+func (s *System) admit(now uint64) {
+	par := s.par
+	for bi := range par.outboxes {
+		ob := &par.outboxes[bi]
+		for _, dr := range ob.draws {
+			s.injectOne(int(dr.node), int(dr.dst), now)
+		}
+	}
+	s.fab.BeginBoardTick()
+}
+
+// tickBoardCompute runs a tick phase for one board, in the serial
 // step's intra-board order: node NICs, rx sources, the IBI router, then
 // the board's slice of the optical fabric. Cross-board interactions all
 // mature next cycle (flit readyAt and credit stamps are > now), so
@@ -220,11 +321,19 @@ func (s *System) commitCycle(now uint64) {
 // epoch's cycles internally, meeting the others at a barrier on each
 // phase edge. Worker 0 runs the serial phases between barriers.
 //
-// Steady-state cycle: four barriers. The serial commit of cycle c and
-// the serial head of cycle c+1 share the section between barriers 4 and
-// 1' — stepHead only touches engine/fault/measurement state no compute
-// phase reads, so running it immediately after commit is the serial
-// order.
+// Entry (two barriers): worker 0 runs the first cycle's serial head
+// while the other workers pre-draw its injections (skipped entirely
+// when a previous epoch staged them); after the first barrier worker 0
+// admits the draws and opens the board tick.
+//
+// Steady state (two barriers per cycle): the parallel section ticks
+// cycle c and speculatively pre-draws cycle c+1; the serial section
+// commits c, runs c+1's head, admits the staged draws and opens the
+// next board tick. stepHead only touches engine/fault/measurement
+// state no parallel phase reads, and the injector streams it is
+// pipelined against are read by no one else, so the interleavings are
+// race-free and order-equivalent to the serial step.
+//
 // Profiling hooks (pp.start/add*/barrier) are nil-receiver no-ops when
 // Config.PhaseProfile is off — the disabled cost is a handful of
 // predicted nil-check branches per cycle and zero allocations, and
@@ -238,41 +347,37 @@ func (s *System) epochBody(id int) {
 		t0 := pp.start()
 		s.stepHead(now)
 		pp.addSerial(id, t0)
-		par.computing = true
 	}
-	pp.barrier(par.pool, id)
-	for {
-		// Compute phase A: injector draws.
+	if !par.entrySkipDraw {
+		// Worker 0 draws its own shard after the head; the others draw
+		// theirs concurrently with it.
 		t0 := pp.start()
 		for bi := lo; bi < hi; bi++ {
 			s.drawBoard(bi)
 		}
 		pp.addDraw(id, t0)
-		pp.barrier(par.pool, id)
-		if id == 0 {
-			// Serial middle: admit packets in global node order (contiguous
-			// ascending board shards keep each outbox in node order, so
-			// draining boards in order reproduces the serial injectAll
-			// sequence).
-			t0 := pp.start()
-			par.computing = false
-			for bi := range par.outboxes {
-				ob := &par.outboxes[bi]
-				for _, dr := range ob.draws {
-					s.injectOne(int(dr.node), int(dr.dst), now)
-				}
-			}
-			par.computing = true
-			s.fab.BeginBoardTick()
-			pp.addSerial(id, t0)
-		}
-		pp.barrier(par.pool, id)
-		// Compute phase B: board-local ticking, shared effects deferred.
-		t0 = pp.start()
+	}
+	pp.barrier(par.pool, id)
+	if id == 0 {
+		t0 := pp.start()
+		s.admit(now)
+		par.computing = true
+		pp.addSerial(id, t0)
+	}
+	pp.barrier(par.pool, id)
+	for {
+		// Parallel section: tick cycle `now`, then speculatively pre-draw
+		// cycle now+1 while worker 0's serial section is still pending.
+		t0 := pp.start()
 		for bi := lo; bi < hi; bi++ {
 			s.tickBoardCompute(bi, now)
 		}
 		pp.addTick(id, t0)
+		t0 = pp.start()
+		for bi := lo; bi < hi; bi++ {
+			s.drawBoardSpec(bi)
+		}
+		pp.addDraw(id, t0)
 		pp.barrier(par.pool, id)
 		if id == 0 {
 			t0 := pp.start()
@@ -282,6 +387,7 @@ func (s *System) epochBody(id int) {
 			par.stop = par.now >= par.end || s.meas.Phase() == stats.Done
 			if !par.stop {
 				s.stepHead(par.now)
+				s.admit(par.now)
 				par.computing = true
 			}
 			pp.addSerial(id, t0)
@@ -301,7 +407,19 @@ func (s *System) stepEpoch(n uint64) uint64 {
 	par.now = s.nextCycle
 	par.end = s.nextCycle + n
 	par.stop = false
+	if par.specHave && par.specFor != par.now {
+		// Staged draws for some other cycle (unreachable through the
+		// public stepping API, but cheap to guard): rewind and redraw.
+		s.invalidateSpec()
+	}
+	par.entrySkipDraw = par.specHave
+	par.specHave = false
 	par.pool.Epoch(par.body)
+	// The loop's parallel sections always pre-draw one cycle ahead, so
+	// on exit the outboxes hold staged draws for par.now — the next
+	// cycle to simulate. Publish them for the next epoch.
+	par.specHave = true
+	par.specFor = par.now
 	s.nextCycle = par.now
 	// The Epoch join happens-before this flush, so the workers' phase
 	// accumulators are visible here (nil-safe no-op when profiling off).

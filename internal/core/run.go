@@ -47,20 +47,17 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 	var now uint64
 	var cancelled error
 	for {
-		if s.par != nil {
-			// Parallel systems step in epochs that run to the next
-			// reconfiguration-window boundary (or the cycle limit): one pool
-			// dispatch per epoch instead of per cycle. The epoch checks
-			// measurement Done after each cycle's commit — the same point the
-			// serial loop checks it — so both modes stop on the same cycle.
-			n := window - s.nextCycle%window
-			if rem := limit + 1 - s.nextCycle; rem < n {
-				n = rem
-			}
-			now = s.stepEpoch(n)
-		} else {
-			now = s.Step()
+		// Step in epochs that run to the next reconfiguration-window
+		// boundary (or the cycle limit). On a parallel system that is one
+		// pool dispatch per epoch instead of per cycle; on a serial system
+		// it gives the idle fast-forward a full window to consume. Both
+		// paths check measurement Done after each cycle, so all modes stop
+		// on the same cycle.
+		n := window - s.nextCycle%window
+		if rem := limit + 1 - s.nextCycle; rem < n {
+			n = rem
 		}
+		now = s.StepN(n)
 		if s.meas.Phase() == stats.Done {
 			break
 		}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// This file pins the StepN stepping contract at its edges: the no-op
+// batch, batches that cross measurement-phase and run-limit
+// boundaries, batch-size invariance (including fast-forward stretches
+// split at batch seams), and stepping past Done. Every case runs on
+// both the serial and the pipelined engine, which must agree exactly.
+
+// TestStepNZero pins the no-op batch: StepN(0) returns the last
+// simulated cycle and advances nothing — no cycle, no injector draw,
+// no pool dispatch.
+func TestStepNZero(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			cfg := fastConfig(PB)
+			cfg.Workers = workers
+			s, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			s.Controllers().Start()
+			if got := s.StepN(5); got != 4 {
+				t.Fatalf("StepN(5) from cold = %d, want 4 (cycles 0..4)", got)
+			}
+			cyc, inj := s.Cycle(), s.InjectedCount()
+			if got := s.StepN(0); got != cyc {
+				t.Errorf("StepN(0) = %d, want last cycle %d", got, cyc)
+			}
+			if s.Cycle() != cyc || s.InjectedCount() != inj {
+				t.Errorf("StepN(0) advanced state: cycle %d->%d, injected %d->%d",
+					cyc, s.Cycle(), inj, s.InjectedCount())
+			}
+			if got := s.StepN(1); got != cyc+1 {
+				t.Errorf("StepN(1) after StepN(0) = %d, want %d", got, cyc+1)
+			}
+		})
+	}
+}
+
+// TestStepNStopsAtDone checks that a batch far larger than the run
+// stops early when the measurement reaches Done — and that the serial
+// and pipelined engines stop on the identical cycle.
+func TestStepNStopsAtDone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full runs at two worker counts")
+	}
+	cfg := fastConfig(PB)
+	const huge = 10_000_000
+	stopAt := make(map[int]uint64)
+	for _, workers := range []int{1, 4} {
+		wcfg := cfg
+		wcfg.Workers = workers
+		s, err := NewSystem(wcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Controllers().Start()
+		last := s.StepN(huge)
+		s.Close()
+		if s.Measurement().Phase() != stats.Done {
+			t.Fatalf("workers=%d: StepN(%d) returned at cycle %d in phase %v, want Done",
+				workers, huge, last, s.Measurement().Phase())
+		}
+		if last >= huge-1 {
+			t.Fatalf("workers=%d: StepN(%d) consumed the whole batch (cycle %d) instead of stopping at Done",
+				workers, huge, last)
+		}
+		if got := s.Cycle(); got != last {
+			t.Errorf("workers=%d: StepN returned %d but Cycle() = %d", workers, last, got)
+		}
+		stopAt[workers] = last
+	}
+	if stopAt[1] != stopAt[4] {
+		t.Errorf("serial stopped at cycle %d, pipelined at %d; engines must agree", stopAt[1], stopAt[4])
+	}
+}
+
+// TestStepNChunkInvariance drives identical runs with one giant batch,
+// window-sized batches, and odd 97-cycle batches, on both engines. The
+// telemetry stream and the packet counters must be bit-identical in
+// all cases: batch seams must not perturb the simulation, including
+// where they split an idle stretch the serial engine would otherwise
+// fast-forward in one piece, and where a single batch crosses the
+// warmup/measure/drain boundaries that per-window stepping hits
+// exactly. The low injection rate keeps the system idle often enough
+// that the fast-forward path genuinely engages.
+func TestStepNChunkInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("six full runs")
+	}
+	drive := func(workers int, chunk uint64) ([]uint64, *captureSink) {
+		cfg := fastConfig(PB)
+		cfg.InjectionRate = 0.002
+		cfg.Workers = workers
+		s, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := &captureSink{}
+		s.AttachSink(sink)
+		s.Controllers().Start()
+		limit := cfg.WarmupCycles + cfg.MeasureCycles + cfg.DrainLimitCycles
+		for s.Measurement().Phase() != stats.Done && s.Cycle() < limit {
+			s.StepN(chunk)
+		}
+		s.Close()
+		return []uint64{s.Cycle(), s.InjectedCount(), s.DeliveredCount()}, sink
+	}
+	refState, refSink := drive(1, 10_000_000)
+	if len(refSink.evs) == 0 {
+		t.Fatal("reference run emitted no telemetry")
+	}
+	for _, workers := range []int{1, 4} {
+		for _, chunk := range []uint64{97, 500, 10_000_000} {
+			if workers == 1 && chunk == 10_000_000 {
+				continue // the reference itself
+			}
+			state, sink := drive(workers, chunk)
+			label := fmt.Sprintf("workers=%d chunk=%d", workers, chunk)
+			for i, name := range []string{"cycle", "injected", "delivered"} {
+				if state[i] != refState[i] {
+					t.Errorf("%s: final %s %d, reference %d", label, name, state[i], refState[i])
+				}
+			}
+			if len(sink.evs) != len(refSink.evs) {
+				t.Fatalf("%s: %d telemetry events, reference %d", label, len(sink.evs), len(refSink.evs))
+			}
+			for i := range refSink.evs {
+				if sink.evs[i] != refSink.evs[i] {
+					t.Fatalf("%s: event %d diverges\nref: %+v\ngot: %+v", label, i, refSink.evs[i], sink.evs[i])
+				}
+			}
+		}
+	}
+}
+
+// TestStepPastDone pins stepping beyond the end of the measurement
+// methodology: once the phase is Done, Step and StepN keep advancing
+// (exactly one cycle per call — StepN stops early while Done) without
+// panicking or breaking packet conservation, so custom drivers may
+// overrun the schedule harmlessly.
+func TestStepPastDone(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			cfg := fastConfig(PB)
+			cfg.Workers = workers
+			s, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			s.Controllers().Start()
+			limit := cfg.WarmupCycles + cfg.MeasureCycles + cfg.DrainLimitCycles
+			for s.Measurement().Phase() != stats.Done && s.Cycle() < limit {
+				s.StepN(cfg.Window)
+			}
+			if s.Measurement().Phase() != stats.Done {
+				t.Fatalf("run truncated at cycle %d before Done", s.Cycle())
+			}
+			for i := 0; i < 3; i++ {
+				prev := s.Cycle()
+				if got := s.Step(); got != prev+1 {
+					t.Fatalf("Step() past Done = %d, want %d", got, prev+1)
+				}
+			}
+			prev := s.Cycle()
+			if got := s.StepN(10); got != prev+1 {
+				t.Errorf("StepN(10) past Done = %d, want %d (stops after one cycle while Done)", got, prev+1)
+			}
+			if inj, del, drop := s.InjectedCount(), s.DeliveredCount(), s.DroppedByFault(); del+drop > inj {
+				t.Errorf("conservation broken past Done: injected %d < delivered %d + dropped %d", inj, del, drop)
+			}
+		})
+	}
+}

@@ -45,6 +45,9 @@ type System struct {
 	// freePkts recycles delivered, untraced packets (and their flit
 	// slabs) so the steady-state injection path allocates nothing.
 	freePkts []*flit.Packet
+	// ffStates is the idle fast-forward's reusable per-node injector
+	// state snapshot buffer (see fastforward.go); nil until first used.
+	ffStates []traffic.State
 	// pktBlock serves pool misses in 256-packet chunks: when offered load
 	// exceeds saturation the in-flight population grows every cycle, and
 	// chunking amortizes that growth to two allocations per chunk.
@@ -199,15 +202,6 @@ func (s *System) assemble() error {
 	b := top.Boards()
 	d := top.NodesPerBoard()
 	w := top.Wavelengths() // B-1
-	master := rng.New(cfg.Seed)
-	pattern, err := traffic.New(cfg.Pattern, top.TotalNodes())
-	if err != nil {
-		return err
-	}
-	rate := cfg.Rate()
-	if rate > 1 {
-		return fmt.Errorf("core: injection rate %v exceeds 1 packet/node/cycle", rate)
-	}
 
 	s.nics = make([]*link.PacketSource, top.TotalNodes())
 	s.deliveredPerNode = make([]uint64, top.TotalNodes())
@@ -292,8 +286,28 @@ func (s *System) assemble() error {
 		s.boards = append(s.boards, bd)
 	}
 
-	// Injectors, one per node, each with an independent derived stream.
-	for n := 0; n < top.TotalNodes(); n++ {
+	return s.buildInjectors()
+}
+
+// buildInjectors (re)creates the per-node traffic injectors for the
+// current configuration, one independent derived RNG stream per node in
+// node order. The injectors are the only electrical-domain state whose
+// construction depends on per-run parameters (pattern, rate,
+// burstiness, seed), so Reset rebuilds just these while the NICs,
+// routers and sinks rewind in place.
+func (s *System) buildInjectors() error {
+	cfg := s.cfg
+	master := rng.New(cfg.Seed)
+	pattern, err := traffic.New(cfg.Pattern, s.top.TotalNodes())
+	if err != nil {
+		return err
+	}
+	rate := cfg.Rate()
+	if rate > 1 {
+		return fmt.Errorf("core: injection rate %v exceeds 1 packet/node/cycle", rate)
+	}
+	s.injectors = s.injectors[:0]
+	for n := 0; n < s.top.TotalNodes(); n++ {
 		if cfg.BurstLength > 0 {
 			duty := cfg.BurstDuty
 			if duty == 0 {
@@ -605,8 +619,13 @@ func (o fabObserver) LaserLevel(sb, w, d, from, to int, now uint64) {
 
 // SetInjectionRate changes every node's mean injection rate mid-run
 // (phased-load experiments such as the Fig. 3 design-space demo). rate
-// is in packets/node/cycle.
+// is in packets/node/cycle. On a parallel system any speculatively
+// staged draws were made under the old rate, so they are discarded
+// first: the injector streams rewind to their pre-draw snapshots and
+// the next epoch redraws the cycle at the new rate — exactly what a
+// serial system stepping past this call would do.
 func (s *System) SetInjectionRate(rate float64) {
+	s.invalidateSpec()
 	for _, src := range s.injectors {
 		switch inj := src.(type) {
 		case *traffic.Injector:
@@ -636,7 +655,10 @@ func (s *System) Step() uint64 {
 // parallel system the whole batch is one pool epoch — one worker
 // dispatch for all n cycles — which is how Run steps between window
 // boundaries; custom drivers that don't need per-cycle control should
-// prefer it over calling Step n times.
+// prefer it over calling Step n times. A serial system fast-forwards
+// analytically through provably idle stretches of the batch (see
+// fastforward.go); the result is bit-identical to stepping every
+// cycle.
 func (s *System) StepN(n uint64) uint64 {
 	if n == 0 {
 		return s.cycle
@@ -644,14 +666,20 @@ func (s *System) StepN(n uint64) uint64 {
 	if s.par != nil {
 		return s.stepEpoch(n)
 	}
-	var now uint64
-	for i := uint64(0); i < n; i++ {
-		now = s.Step()
+	end := s.nextCycle + n
+	ff := s.ffEligible()
+	for s.nextCycle < end {
+		if ff && s.fastForward(end-s.nextCycle) > 0 {
+			continue
+		}
+		now := s.nextCycle
+		s.step(now)
+		s.nextCycle++
 		if s.meas.Phase() == stats.Done {
 			break
 		}
 	}
-	return now
+	return s.nextCycle - 1
 }
 
 // Cycle returns the last simulated cycle.

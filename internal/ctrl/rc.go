@@ -136,9 +136,10 @@ func (rc *RC) run(p *sim.Process) {
 // resets the windows for the next R_w. Indexed [w][d].
 func (rc *RC) snapshotAndReset() [][]laserSnap {
 	b := rc.sys.top.Boards()
-	// Idle lasers accrue window statistics lazily; bring them up to date
-	// before reading and resetting the windows.
-	rc.sys.fab.FlushStats(rc.sys.eng.Now())
+	// Idle lasers accrue window statistics lazily; bring this board's up
+	// to date before reading and resetting the windows (the snapshot only
+	// reads local lasers, and every board's RC flushes its own).
+	rc.sys.fab.FlushBoardStats(rc.board, rc.sys.eng.Now())
 	if rc.snap == nil {
 		rc.snap = make([][]laserSnap, b)
 		for w := 1; w < b; w++ {

@@ -22,6 +22,7 @@ type PacketSource struct {
 	name       string
 	sink       router.Sink
 	vcs        int
+	depth      int
 	flitCycles uint64
 
 	queue   []*flit.Packet
@@ -55,12 +56,33 @@ func NewPacketSource(name string, sink router.Sink, vcs, depth int, flitCycles u
 	if vcs < 1 || depth < 1 || flitCycles < 1 {
 		panic(fmt.Sprintf("link: source %q: invalid vcs=%d depth=%d flitCycles=%d", name, vcs, depth, flitCycles))
 	}
-	s := &PacketSource{name: name, sink: sink, vcs: vcs, flitCycles: flitCycles}
+	s := &PacketSource{name: name, sink: sink, vcs: vcs, depth: depth, flitCycles: flitCycles}
 	s.credits = make([]int, vcs)
 	for v := range s.credits {
 		s.credits[v] = depth
 	}
 	return s
+}
+
+// Reset rewinds the source to its freshly constructed state: queue and
+// in-flight transmission dropped, credits restored to the downstream
+// depth, round-robin pointer and counters zeroed. The sink and the
+// OnDequeue callback stay attached, so a wired source can be reused
+// across runs without reconstruction.
+func (s *PacketSource) Reset() {
+	for i := range s.queue {
+		s.queue[i] = nil
+	}
+	s.queue = s.queue[:0]
+	for v := range s.credits {
+		s.credits[v] = s.depth
+	}
+	s.pending = s.pending[:0]
+	s.cur = nil
+	s.curIdx, s.curVC = 0, 0
+	s.nextSendAt = 0
+	s.rrVC = 0
+	s.sent = 0
 }
 
 // Enqueue appends a packet to the source queue.
@@ -175,6 +197,14 @@ func NewPacketSink(name string, cs router.CreditSink, onPacket func(p *flit.Pack
 
 // Received returns the number of completed packets.
 func (k *PacketSink) Received() uint64 { return k.received }
+
+// Reset rewinds the sink to its freshly constructed state, dropping any
+// partially reassembled packets and zeroing the received counter. The
+// credit sink and OnPacket callback stay attached.
+func (k *PacketSink) Reset() {
+	clear(k.open)
+	k.received = 0
+}
 
 // PutFlit implements router.Sink.
 func (k *PacketSink) PutFlit(f *flit.Flit, readyAt uint64) {

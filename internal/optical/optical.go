@@ -329,7 +329,11 @@ type Fabric struct {
 type boardShard struct {
 	active []*Laser
 	deact  []*Laser
-	_      [64 - 2*24]byte
+	// txFlits counts flits buffered across this board's transmitter
+	// reassembly buffers, maintained by the shard's owner so Quiescent
+	// needs no O(B²) transmitter scan.
+	txFlits int
+	_       [64 - 2*24 - 8]byte
 }
 
 // SetDropHook registers the accounting path for packets discarded at
@@ -431,6 +435,120 @@ func NewFabric(top *topology.Topology, eng *sim.Engine, cfg Config) (*Fabric, er
 	return f, nil
 }
 
+// Reset returns the fabric to its just-constructed state so a completed
+// run's fabric can host a fresh one without rebuilding the channel,
+// laser and transmitter slabs: channels revert to their static RWA
+// owners, lasers to the default level with empty queues and zeroed
+// statistics, transmitters to empty reassembly buffers, and the
+// delivery heap, power meter and idle aggregate to zero. Attached
+// observer and drop hooks are detached (the next run re-attaches its
+// own). All slab and queue backing arrays are retained, so the reset
+// fabric runs without reallocating its steady-state structures.
+func (f *Fabric) Reset() {
+	f.assertSerialPhase("Reset")
+	b := f.top.Boards()
+	for d := 0; d < b; d++ {
+		for w := 1; w < b; w++ {
+			ch := f.channels[d][w]
+			ch.holder = f.top.StaticOwner(d, w)
+			ch.busyUntil = 0
+			ch.deliveries = 0
+		}
+	}
+	for s := range f.shards {
+		sh := &f.shards[s]
+		for i := range sh.active {
+			sh.active[i] = nil
+		}
+		sh.active = sh.active[:0]
+		for i := range sh.deact {
+			sh.deact[i] = nil
+		}
+		sh.deact = sh.deact[:0]
+		sh.txFlits = 0
+	}
+	// Rebuild the idle-laser supply aggregate from zero with the same
+	// per-laser refreshIdle sequence NewFabric runs, so the float value is
+	// bit-identical to a fresh construction.
+	f.idleLitMW = 0
+	for s := 0; s < b; s++ {
+		for w := 1; w < b; w++ {
+			for d := 0; d < b; d++ {
+				l := f.lasers[s][w][d]
+				if l == nil {
+					continue
+				}
+				l.level = f.cfg.DefaultLevel
+				l.disabledUntil = 0
+				l.busyUntil = 0
+				for i := range l.queue {
+					l.queue[i] = nil
+				}
+				l.queue = l.queue[:0]
+				l.LinkWin.Reset()
+				l.BufWin.Reset()
+				l.transitions = 0
+				l.sentPackets = 0
+				l.busyCycles = 0
+				l.failed = false
+				l.permFailed = false
+				l.stuck = false
+				l.dropWin = 0
+				l.active = false
+				l.statsAt = 0
+				l.idleContrib = 0
+				f.refreshIdle(l)
+			}
+		}
+	}
+	for _, tx := range f.txs {
+		for v := range tx.vcs {
+			vc := &tx.vcs[v]
+			for i := range vc.entries {
+				vc.entries[i] = txEntry{}
+			}
+			vc.entries = vc.entries[:0]
+			vc.completePackets = 0
+		}
+		tx.pending = 0
+	}
+	for i := range f.delHeap {
+		f.delHeap[i] = delivery{}
+	}
+	f.delHeap = f.delHeap[:0]
+	f.delSeq = 0
+	f.meter.Reset()
+	f.meterEnabled = false
+	f.autoWake = 0
+	f.wakes = 0
+	f.observer = nil
+	f.dropHook = nil
+	if p := f.par; p != nil {
+		p.computing = false
+		for i := range p.logs {
+			lg := &p.logs[i]
+			for j := range lg.txEvents {
+				lg.txEvents[j].p = nil
+			}
+			lg.txEvents = lg.txEvents[:0]
+			for j := range lg.laserEvents {
+				lg.laserEvents[j].p = nil
+			}
+			lg.laserEvents = lg.laserEvents[:0]
+			for ph := range lg.idle {
+				lg.idle[ph] = lg.idle[ph][:0]
+			}
+			lg.meter = lg.meter[:0]
+			for j := range lg.deliver {
+				lg.deliver[j].p = nil
+			}
+			lg.deliver = lg.deliver[:0]
+			lg.wakes = 0
+			lg.cur = 0
+		}
+	}
+}
+
 // litIdleMW returns the supply power an idle laser currently draws: its
 // level's power when it is lit (drives its channel) and operating, and
 // not already accounted per-cycle via the active list.
@@ -474,16 +592,27 @@ func (f *Fabric) syncStats(l *Laser, now uint64) {
 }
 
 // FlushStats brings every laser's LinkWin/BufWin up to date through
-// cycle now-1. Callers that read or reset the windows directly (the RC
-// snapshot, tests) must flush first; active lasers are already current.
+// cycle now-1. Callers that read or reset the windows directly (tests)
+// must flush first; active lasers are already current. Per-board
+// readers (the RC snapshot) should use FlushBoardStats instead — each
+// board's controller reads only its own lasers, and a global flush per
+// board per window would scan the O(B³) laser population B times.
 func (f *Fabric) FlushStats(now uint64) {
+	for s := range f.lasers {
+		f.FlushBoardStats(s, now)
+	}
+}
+
+// FlushBoardStats brings board s's lasers' LinkWin/BufWin up to date
+// through cycle now-1. Sync is additive and integer-exact, so flushing
+// boards independently (each RC its own, at the window boundary) yields
+// the same window values as a global flush.
+func (f *Fabric) FlushBoardStats(s int, now uint64) {
 	b := f.top.Boards()
-	for s := 0; s < b; s++ {
-		for w := 1; w < b; w++ {
-			for d := 0; d < b; d++ {
-				if l := f.lasers[s][w][d]; l != nil && !l.active {
-					f.syncStats(l, now)
-				}
+	for w := 1; w < b; w++ {
+		for d := 0; d < b; d++ {
+			if l := f.lasers[s][w][d]; l != nil && !l.active {
+				f.syncStats(l, now)
 			}
 		}
 	}
@@ -795,6 +924,24 @@ func (f *Fabric) DeliverDue(now uint64) {
 // PendingDeliveries returns the number of in-flight transmissions.
 func (f *Fabric) PendingDeliveries() int { return len(f.delHeap) }
 
+// FastForwardIdle accounts n cycles on a quiescent fabric without
+// ticking: the only per-cycle effect a Tick has when nothing is queued,
+// busy or in flight is the idle-power sample, which is replayed here
+// with the same per-cycle float operations (addition order is part of
+// the determinism contract, so this must not collapse to one
+// multiplication). Callers guarantee Quiescent(now) for the whole
+// stretch; serial phase only.
+func (f *Fabric) FastForwardIdle(n uint64) {
+	f.assertSerialPhase("FastForwardIdle")
+	if !f.meterEnabled {
+		return
+	}
+	for i := uint64(0); i < n; i++ {
+		f.meter.AddCycleMW(f.idleLitMW, false)
+		f.meter.Observe(1)
+	}
+}
+
 // Tick advances transmitters and lasers one cycle and samples statistics
 // and power. Call exactly once per cycle. Only transmitters holding
 // flits and lasers on the active list are visited; lasers that go idle
@@ -1013,27 +1160,23 @@ func (f *Fabric) CheckInvariants() error {
 
 // Quiescent reports whether no laser holds queued packets or in-flight
 // serializations at the given cycle, and no delivery is in flight.
+//
+// The check is O(boards), not O(lasers): a laser with queued packets or
+// an unfinished serialization is exactly a laser still on its board's
+// active list (tickBoardLasers' retention condition), a serialization
+// busy past now always has its delivery still pending in delHeap
+// (scheduled at start+ser+prop ≥ busyUntil), and buffered transmitter
+// flits are counted per shard as they arrive. The idle fast-forward
+// gate calls this between every analytic stretch, so the scan must not
+// scale with the O(B³) laser population.
 func (f *Fabric) Quiescent(now uint64) bool {
 	if len(f.delHeap) > 0 {
 		return false
 	}
-	for _, tx := range f.txs {
-		if !tx.quiescent() {
+	for s := range f.shards {
+		sh := &f.shards[s]
+		if sh.txFlits != 0 || len(sh.active) > 0 {
 			return false
-		}
-	}
-	b := f.top.Boards()
-	for s := 0; s < b; s++ {
-		for w := 1; w < b; w++ {
-			for d := 0; d < b; d++ {
-				l := f.lasers[s][w][d]
-				if l == nil {
-					continue
-				}
-				if len(l.queue) > 0 || l.Busy(now) {
-					return false
-				}
-			}
 		}
 	}
 	return true

@@ -71,6 +71,7 @@ func (t *Transmitter) PutFlit(f *flit.Flit, readyAt uint64) {
 	}
 	vc.entries = append(vc.entries, txEntry{f: f, readyAt: readyAt})
 	t.pending++
+	t.f.shards[t.s].txFlits++
 }
 
 // tick moves completed packets from reassembly buffers into laser queues
@@ -118,6 +119,7 @@ func (t *Transmitter) tick(now uint64) {
 			}
 			vc.entries = vc.entries[:0]
 			t.pending -= n
+			t.f.shards[t.s].txFlits -= n
 			if t.cs != nil {
 				for i := 0; i < n; i++ {
 					t.cs.PutCredit(v, now+1)
@@ -141,22 +143,13 @@ func (t *Transmitter) tick(now uint64) {
 		n := len(vc.entries)
 		vc.entries = vc.entries[:0]
 		t.pending -= n
+		t.f.shards[t.s].txFlits -= n
 		if t.cs != nil {
 			for i := 0; i < n; i++ {
 				t.cs.PutCredit(v, now+1)
 			}
 		}
 	}
-}
-
-// quiescent reports whether all reassembly buffers are empty.
-func (t *Transmitter) quiescent() bool {
-	for v := range t.vcs {
-		if len(t.vcs[v].entries) > 0 {
-			return false
-		}
-	}
-	return true
 }
 
 // PendingFlits returns the number of flits currently buffered across all

@@ -236,6 +236,37 @@ func MustNew(cfg Config) *Router {
 // Name returns the router's configured name.
 func (r *Router) Name() string { return r.cfg.Name }
 
+// Reset rewinds the router to its post-ConnectOutput state: input
+// buffers emptied, pipeline stages idle, round-robin pointers rewound,
+// downstream credits restored to full and counters zeroed. Output links
+// and input credit sinks stay attached, so a wired router can be reused
+// across runs without reconstruction.
+func (r *Router) Reset() {
+	for p := range r.ins {
+		for _, vc := range r.ins[p] {
+			for i := range vc.buf {
+				vc.buf[i] = bufEntry{}
+			}
+			vc.buf = vc.buf[:0]
+			vc.stage = vcIdle
+			vc.stageReady = 0
+			vc.outPort, vc.outVC, vc.vcClass = 0, 0, 0
+		}
+		r.rrInVC[p] = 0
+		r.portActive[p] = 0
+	}
+	for _, op := range r.outs {
+		for v := range op.vcs {
+			op.vcs[v] = outVCState{credits: op.link.DownDepth}
+		}
+		op.nextFreeAt = 0
+		op.rrVC, op.rrIn = 0, 0
+		op.pendingCredits = op.pendingCredits[:0]
+	}
+	r.ctr = Counters{}
+	r.bufTotal, r.activeVCs, r.vaWaiting, r.credTotal = 0, 0, 0, 0
+}
+
 // Counters returns a snapshot of activity counters.
 func (r *Router) Counters() Counters { return r.ctr }
 

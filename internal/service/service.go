@@ -372,16 +372,19 @@ func (s *Server) Done(id string) (<-chan struct{}, bool) {
 	return j.done, true
 }
 
-// worker drains the queue until it closes.
+// worker drains the queue until it closes. Each worker owns a pooled
+// runner, so consecutive run jobs on one topology reset a cached
+// system instead of reconstructing it.
 func (s *Server) worker() {
 	defer s.wg.Done()
+	var runner core.Runner
 	for j := range s.queue {
-		s.runJob(j)
+		s.runJob(&runner, j)
 	}
 }
 
 // runJob executes one queued job to a terminal state.
-func (s *Server) runJob(j *Job) {
+func (s *Server) runJob(runner *core.Runner, j *Job) {
 	m := s.metrics
 	s.mu.Lock()
 	if j.state != StateQueued {
@@ -412,7 +415,7 @@ func (s *Server) runJob(j *Job) {
 	if j.kind == "sweep" {
 		resultJSON, err = s.execSweep(ctx, j)
 	} else {
-		resultJSON, err = s.execRun(ctx, j)
+		resultJSON, err = s.execRun(ctx, runner, j)
 	}
 
 	state := StateDone
@@ -500,10 +503,10 @@ func (s *Server) finishLocked(j *Job, state JobState, resultJSON json.RawMessage
 	}
 }
 
-// execRun simulates one configuration, streaming its telemetry into
-// the job's event log.
-func (s *Server) execRun(ctx context.Context, j *Job) (json.RawMessage, error) {
-	sys, err := core.NewSystem(j.cfg)
+// execRun simulates one configuration on the worker's pooled system,
+// streaming its telemetry into the job's event log.
+func (s *Server) execRun(ctx context.Context, runner *core.Runner, j *Job) (json.RawMessage, error) {
+	sys, err := runner.System(j.cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -284,3 +284,25 @@ func (e *Engine) Shutdown() {
 		delete(e.procs, p)
 	}
 }
+
+// Reset returns the engine to its initial state — time zero, empty
+// calendar, sequence zero, not stopped — so a completed simulation's
+// engine can host a fresh run without reconstruction. Any leftover
+// process goroutines are terminated (a completed run's Shutdown
+// normally already did) and pending calendar entries are recycled onto
+// the free list, so the reset engine schedules without allocating.
+func (e *Engine) Reset() {
+	for p := range e.procs {
+		close(p.wake)
+		delete(e.procs, p)
+	}
+	for i, ev := range e.events {
+		e.events[i] = nil
+		e.recycle(ev)
+	}
+	e.events = e.events[:0]
+	e.now = 0
+	e.seq = 0
+	e.executed = 0
+	e.stopped = false
+}

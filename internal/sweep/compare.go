@@ -127,10 +127,14 @@ func Compare(ctx context.Context, req CompareRequest) ([]Comparison, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Scenarios may differ in shape, so the pooled runner falls back
+			// to fresh construction across shape changes; within one
+			// scenario's policy panel every run resets the same system.
+			var runner core.Runner
 			for j := range next {
 				cfg := cmps[j.si].Scenario.Config
 				cfg.Policy = cmps[j.si].Outcomes[j.pi].Spec
-				res, err := core.RunContext(ctx, cfg)
+				res, err := runner.RunContext(ctx, cfg)
 				mu.Lock()
 				o := &cmps[j.si].Outcomes[j.pi]
 				o.Digest = cfg.Digest()

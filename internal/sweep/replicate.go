@@ -107,13 +107,17 @@ func Replicate(req ReplicateRequest) ([]*Replicated, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Every job shares one topology, so each worker reuses a single
+			// pooled system across its whole job stream (core.Runner resets
+			// it per job instead of reconstructing).
+			var runner core.Runner
 			for j := range next {
 				cfg := req.Base
 				cfg.Pattern = req.Pattern
 				cfg.Mode = req.Mode
 				cfg.Load = req.Loads[j.li]
 				cfg.Seed = req.Seeds[j.si]
-				res, err := core.Run(cfg)
+				res, err := runner.Run(cfg)
 				mu.Lock()
 				if err != nil && err1 == nil {
 					err1 = err

@@ -133,13 +133,16 @@ func RunContext(ctx context.Context, req Request) ([]Series, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One pooled system per worker: every point of a sweep shares a
+			// topology, so consecutive points reset it instead of rebuilding.
+			var runner core.Runner
 			for j := range next {
 				s := &series[j.si]
 				cfg := req.Base
 				cfg.Mode = s.Mode
 				cfg.Pattern = s.Pattern
 				cfg.Load = j.load
-				res, err := runPoint(ctx, cfg, req.PhaseProfile)
+				res, err := runPoint(ctx, &runner, cfg, req.PhaseProfile)
 				pt := Point{Load: j.load, Result: res, Err: err}
 				mu.Lock()
 				s.Points[j.pi] = pt
@@ -177,23 +180,24 @@ dispatch:
 	return series, errors.Join(Errs(series)...)
 }
 
-// runPoint executes one sweep point, routing the run through an
-// explicit System when phase profiling is requested so the profiler's
-// report can be merged into the aggregate. PhaseProfile is excluded
-// from the config's canonical digest, so profiled and unprofiled runs
-// of the same point stay interchangeable.
-func runPoint(ctx context.Context, cfg core.Config, agg *core.PhaseAggregate) (*core.Result, error) {
-	if agg == nil {
-		return core.RunContext(ctx, cfg)
+// runPoint executes one sweep point through the worker's pooled
+// runner, merging the run's phase report into the aggregate when phase
+// profiling is requested. PhaseProfile is excluded from the config's
+// canonical digest, so profiled and unprofiled runs of the same point
+// stay interchangeable.
+func runPoint(ctx context.Context, r *core.Runner, cfg core.Config, agg *core.PhaseAggregate) (*core.Result, error) {
+	if agg != nil {
+		cfg.PhaseProfile = true
 	}
-	cfg.PhaseProfile = true
-	sys, err := core.NewSystem(cfg)
+	sys, err := r.System(cfg)
 	if err != nil {
 		return nil, err
 	}
 	res, err := sys.RunContext(ctx)
-	if pp := sys.PhaseProfile(); pp != nil {
-		agg.Add(pp.Report())
+	if agg != nil {
+		if pp := sys.PhaseProfile(); pp != nil {
+			agg.Add(pp.Report())
+		}
 	}
 	return res, err
 }
