@@ -9,6 +9,7 @@
 //	erapid -mode P-B -pattern complement -load 0.7 \
 //	    -metrics-out run.metrics.jsonl -events-out run.events.jsonl \
 //	    -perfetto run.trace.json -dashboard run.html
+//	erapid -mode P-B -load 0.5 -tiers rack=8x8,count=16
 package main
 
 import (
@@ -18,6 +19,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	erapid "repro"
@@ -38,6 +41,7 @@ func main() {
 		rate    = flag.Float64("rate", 0, "absolute injection rate in packets/node/cycle (overrides -load)")
 		boards  = flag.Int("boards", 8, "boards B")
 		nodes   = flag.Int("nodes", 8, "nodes per board D")
+		tiers   = flag.String("tiers", "", "hierarchical topology as rack=BxD,count=R (e.g. rack=8x8,count=16): R racks of BxD plus the inter-rack fabric; overrides -boards/-nodes")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		window  = flag.Uint64("window", 2000, "reconfiguration window R_w in cycles")
 		maxHold = flag.Int("maxhold", 4, "max channels one flow may hold (0 = unlimited)")
@@ -113,6 +117,14 @@ func main() {
 		}
 		cfg.Faults = spec
 	}
+	if *tiers != "" {
+		specs, err := parseTiers(*tiers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Tiers = specs
+	}
 
 	if *dump != "" {
 		if err := core.SaveConfig(*dump, cfg); err != nil {
@@ -120,6 +132,28 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote", *dump)
+		return
+	}
+
+	if cfg.MultiTier() {
+		// The flat-engine introspection knobs have no hierarchical
+		// equivalent yet; fail fast instead of silently ignoring them.
+		for _, bad := range []struct {
+			set  bool
+			name string
+		}{
+			{*lsTrace, "-trace"},
+			{*journey > 0, "-journey"},
+			{*perfetto != "", "-perfetto"},
+			{*dashboard != "", "-dashboard"},
+			{cfg.PhaseProfile, "-phase-profile"},
+		} {
+			if bad.set {
+				fmt.Fprintf(os.Stderr, "%s is not supported with -tiers (flat runs only)\n", bad.name)
+				os.Exit(2)
+			}
+		}
+		runHier(cfg, *metricsOut, *eventsOut)
 		return
 	}
 
@@ -246,6 +280,142 @@ func main() {
 			}
 			fmt.Fprintln(os.Stderr, "wrote", *dashboard)
 		}
+	}
+}
+
+// parseTiers parses the -tiers syntax "rack=BxD,count=R" into the
+// two-tier Config.Tiers spec.
+func parseTiers(s string) ([]core.TierSpec, error) {
+	var b, d, r int
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("-tiers: %q is not key=value (want rack=BxD,count=R)", part)
+		}
+		switch key {
+		case "rack":
+			bs, ds, ok := strings.Cut(val, "x")
+			if !ok {
+				return nil, fmt.Errorf("-tiers: rack=%q is not BxD", val)
+			}
+			var err error
+			if b, err = strconv.Atoi(bs); err != nil {
+				return nil, fmt.Errorf("-tiers: rack boards %q is not an integer", bs)
+			}
+			if d, err = strconv.Atoi(ds); err != nil {
+				return nil, fmt.Errorf("-tiers: rack nodes %q is not an integer", ds)
+			}
+		case "count":
+			var err error
+			if r, err = strconv.Atoi(val); err != nil {
+				return nil, fmt.Errorf("-tiers: count=%q is not an integer", val)
+			}
+		default:
+			return nil, fmt.Errorf("-tiers: unknown key %q (want rack, count)", key)
+		}
+	}
+	if b == 0 || d == 0 || r == 0 {
+		return nil, errors.New("-tiers: need both rack=BxD and count=R")
+	}
+	return []core.TierSpec{{Boards: b, NodesPerBoard: d}, {Boards: r}}, nil
+}
+
+// runHier executes a multi-tier configuration through the hierarchical
+// engine and prints the aggregate plus the per-tier breakdown.
+func runHier(cfg core.Config, metricsOut, eventsOut string) {
+	h, err := erapid.NewHier(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var events *telemetry.JSONL
+	var eventsFile *os.File
+	if eventsOut != "" {
+		f, err := os.Create(eventsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		eventsFile = f
+		events = telemetry.NewJSONL(f)
+		h.AttachSink(events)
+	}
+	if metricsOut != "" {
+		h.EnableTelemetry(core.TelemetryConfig{EventCap: -1})
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	res, runErr := h.RunContext(ctx)
+	stopSignals()
+	if runErr != nil {
+		var cancelled *core.CancelledError
+		if errors.As(runErr, &cancelled) {
+			fmt.Fprintf(os.Stderr, "cancelled by signal after %d windows; metrics cover the completed subsystems\n", cancelled.Window)
+		} else {
+			fmt.Fprintln(os.Stderr, runErr)
+			os.Exit(1)
+		}
+	}
+	printHierResult(res, h, cfg)
+
+	if events != nil {
+		if err := events.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := eventsFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", eventsOut)
+	}
+	if metricsOut != "" {
+		// One JSONL stream; the tierN/rackM/ series prefixes keep every
+		// subsystem's metrics distinguishable.
+		if err := writeFile(metricsOut, func(f *os.File) error {
+			for _, ht := range h.Telemetries() {
+				if err := ht.T.Registry().WriteMetricsJSONL(f); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", metricsOut)
+	}
+}
+
+func printHierResult(r *core.Result, h *erapid.Hier, cfg core.Config) {
+	top := h.Topology()
+	fmt.Printf("E-RAPID %s, %d nodes (%d racks x %d) — %s, %s traffic\n",
+		top, top.TotalNodes(), top.Racks(), top.RackNodes(), r.Mode, r.Pattern)
+	if r.Policy != "" {
+		fmt.Printf("  policy                %s\n", r.Policy)
+	}
+	fmt.Printf("  capacity N_c          %.5f pkt/node/cycle (uniform, analytic)\n", r.Capacity)
+	fmt.Printf("  offered load          %.2f x N_c = %.5f pkt/node/cycle (measured %.5f)\n", r.Load, r.Rate, r.OfferedLoad)
+	fmt.Printf("  accepted throughput   %.5f pkt/node/cycle (%.2f x N_c)\n", r.Throughput, r.NormalizedThroughput())
+	fmt.Printf("  latency avg/p95       %.0f / %.0f cycles  (%d samples)\n",
+		r.AvgLatency, r.P95Latency, r.Samples)
+	fmt.Printf("  power dynamic/supply  %.1f / %.1f mW   (%.2f pJ/bit)\n",
+		r.PowerDynamicMW, r.PowerSupplyMW, r.EnergyPerBitPJ)
+	fmt.Printf("  simulated             %d cycles, injected %d, delivered %d",
+		r.Cycles, r.Injected, r.Delivered)
+	if r.Truncated {
+		fmt.Printf(" [drain truncated: saturated]")
+	}
+	fmt.Println()
+	for _, t := range r.Tiers {
+		label := fmt.Sprintf("tier %d (fabric)", t.Tier)
+		if t.Tier == 0 {
+			label = fmt.Sprintf("tier %d (%d racks)", t.Tier, t.Systems)
+		}
+		fmt.Printf("  %-21s %.1f/%.1f mW supply (bound %.1f), lat %.0f, delivered %.4f, %d reassignments, %d ups/%d downs\n",
+			label, t.PowerDynamicMW, t.PowerSupplyMW, t.SupplyBoundMW,
+			t.AvgLatency, t.DeliveredFraction,
+			t.Ctrl.Reassignments, t.Ctrl.LevelUps, t.Ctrl.LevelDowns)
 	}
 }
 

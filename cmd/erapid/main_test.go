@@ -1,0 +1,45 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParseTiers(t *testing.T) {
+	got, err := parseTiers("rack=8x8,count=16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []core.TierSpec{{Boards: 8, NodesPerBoard: 8}, {Boards: 16}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseTiers = %+v, want %+v", got, want)
+	}
+
+	// Key order is free.
+	got, err = parseTiers("count=4,rack=2x3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []core.TierSpec{{Boards: 2, NodesPerBoard: 3}, {Boards: 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseTiers = %+v, want %+v", got, want)
+	}
+
+	for _, bad := range []string{
+		"",
+		"rack=8x8",
+		"count=16",
+		"rack=8,count=16",
+		"rack=8x,count=16",
+		"rack=ax8,count=16",
+		"rack=8x8,count=b",
+		"rack=8x8;count=16",
+		"rack=8x8,count=16,depth=2",
+	} {
+		if _, err := parseTiers(bad); err == nil {
+			t.Errorf("parseTiers(%q) accepted", bad)
+		}
+	}
+}

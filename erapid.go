@@ -76,6 +76,9 @@ const (
 	Tornado    = traffic.Tornado
 	Neighbor   = traffic.Neighbor
 	Hotspot    = traffic.Hotspot
+	// Remote sends uniformly to the nodes of other groups (other racks);
+	// it is the inter-rack fabric's traffic model in hierarchical runs.
+	Remote = traffic.Remote
 )
 
 // Config describes one simulation run. Obtain a baseline with
@@ -106,6 +109,15 @@ type CancelledError = core.CancelledError
 // ParseConfig decodes a JSON config document as an overlay over the
 // paper's P-B defaults and validates it.
 func ParseConfig(data []byte) (Config, error) { return core.ParseConfig(data) }
+
+// TierSpec describes one level of a hierarchical topology in
+// Config.Tiers: entry 0 is the intra-rack SRS, entry 1 the inter-rack
+// WDM fabric. A flat (single-SRS) Config leaves Tiers nil.
+type TierSpec = core.TierSpec
+
+// TierResult is one level of Result.Tiers, the per-tier breakdown of
+// a hierarchical run (power, latency, protocol activity per tier).
+type TierResult = core.TierResult
 
 // Result carries the metrics of one run.
 type Result = core.Result
@@ -143,8 +155,24 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 }
 
 // NewSystem assembles a network without running it, for custom drivers
-// (see examples/designspace).
+// (see examples/designspace). A System models one SRS tier; multi-tier
+// configs assemble through NewHier instead.
 func NewSystem(cfg Config) (*System, error) { return core.NewSystem(cfg) }
+
+// Hier is an assembled hierarchical (multi-tier) simulation: R
+// independent rack SRS instances plus the inter-rack WDM fabric. Run
+// and RunContext dispatch to it automatically for multi-tier configs;
+// construct one directly to attach telemetry before running.
+type Hier = core.Hier
+
+// HierTelemetry identifies one subsystem's telemetry in
+// Hier.Telemetries: the tier, the instance index within the tier, and
+// the series prefix ("tier0/rack3/", "tier1/").
+type HierTelemetry = core.HierTelemetry
+
+// NewHier assembles a hierarchical simulation from a multi-tier config
+// (len(cfg.Tiers) >= 2).
+func NewHier(cfg Config) (*Hier, error) { return core.NewHier(cfg) }
 
 // PatternNames lists every supported traffic pattern.
 func PatternNames() []string { return traffic.Names() }

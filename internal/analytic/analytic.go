@@ -58,7 +58,7 @@ func ZeroLoadIntraBoardLatency(cfg core.Config) float64 {
 // how many nodes send to it under a deterministic pattern. Random
 // patterns (uniform, hotspot) are estimated by sampling.
 func FlowMatrix(cfg core.Config, pattern string) ([][]float64, error) {
-	top, err := topology.New(cfg.Clusters, cfg.Boards, cfg.NodesPerBoard)
+	top, err := topology.NewSRS(cfg.Boards, cfg.NodesPerBoard)
 	if err != nil {
 		return nil, err
 	}

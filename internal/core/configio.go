@@ -8,12 +8,28 @@ import (
 	"os"
 )
 
-// SchemaVersion is the current version of the canonical Config JSON
-// schema. Encoded documents carry it as "schema_version"; the decoder
-// accepts documents without one (the pre-versioning form, identical to
-// version 1) and rejects versions newer than it knows, so a saved or
-// submitted config can never be silently misread by an older binary.
-const SchemaVersion = 1
+// SchemaVersion is the newest version of the canonical Config JSON
+// schema this build reads. Encoded documents carry it as
+// "schema_version"; the decoder accepts documents without one (the
+// pre-versioning form, identical to version 1) and rejects versions
+// newer than it knows, so a saved or submitted config can never be
+// silently misread by an older binary.
+//
+// Version 2 adds the "tiers" array for hierarchical topologies. Flat
+// (single-SRS) configurations — including single-tier v2 documents,
+// which fold onto the flat fields at decode time — still encode as
+// version 1, so their canonical bytes, digests, service cache keys and
+// golden files are unchanged from earlier builds.
+const SchemaVersion = 2
+
+// SchemaVersion returns the version the configuration encodes as: 2
+// only when the document actually uses v2 (a multi-tier hierarchy).
+func (c Config) SchemaVersion() int {
+	if c.MultiTier() {
+		return 2
+	}
+	return 1
+}
 
 // MarshalJSON implements json.Marshaler: the canonical schema with a
 // schema_version tag and the Mode stored as its paper label ("P-B").
@@ -23,7 +39,7 @@ func (c Config) MarshalJSON() ([]byte, error) {
 		SchemaVersion int `json:"schema_version"`
 		bare
 		Mode string
-	}{SchemaVersion, bare(c), c.Mode.String()})
+	}{c.SchemaVersion(), bare(c), c.Mode.String()})
 }
 
 // UnmarshalJSON implements json.Unmarshaler, accepting both the numeric
@@ -44,10 +60,13 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 	}
 	if aux.SchemaVersion != nil {
 		if v := *aux.SchemaVersion; v < 1 || v > SchemaVersion {
-			return fmt.Errorf("core: config schema_version %d not supported (this build reads versions 1..%d)", v, SchemaVersion)
+			return ValidationError{{
+				Field: "schema_version",
+				Msg:   fmt.Sprintf("version %d not supported (this build reads versions 1..%d)", v, SchemaVersion),
+			}}
 		}
 	}
-	*c = Config(aux.bare)
+	*c = Config(aux.bare).tiersApplied()
 	if len(aux.Mode) == 0 {
 		return nil
 	}
@@ -73,9 +92,11 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 
 // normalized returns a copy with the encoding-irrelevant degrees of
 // freedom collapsed: an empty fault spec behaves bit-identically to a
-// nil one, and the paper-baseline policy spec bit-identically to no
-// policy at all, so the canonical form drops both.
+// nil one, the paper-baseline policy spec bit-identically to no policy
+// at all, and a single-tier Tiers array bit-identically to the flat v1
+// fields — so the canonical form drops all three.
 func (c Config) normalized() Config {
+	c = c.tiersApplied()
 	if c.Faults != nil && c.Faults.Empty() {
 		c.Faults = nil
 	}

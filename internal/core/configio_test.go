@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -27,7 +28,7 @@ func TestConfigJSONRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back != orig {
+	if !reflect.DeepEqual(back, orig) {
 		t.Fatalf("round trip changed config:\n%+v\n%+v", back, orig)
 	}
 }
@@ -78,7 +79,7 @@ func TestSaveAndLoadConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back != orig {
+	if !reflect.DeepEqual(back, orig) {
 		t.Fatalf("save/load changed config")
 	}
 }
@@ -97,16 +98,23 @@ func TestConfigSchemaVersion(t *testing.T) {
 	if !strings.Contains(string(data), `"schema_version":1`) {
 		t.Fatalf("encoded config carries no schema_version tag: %s", data)
 	}
-	// Documents without a tag (the pre-versioning form) and with the
-	// current version both decode; future versions are rejected.
-	for _, doc := range []string{`{"Load":0.5}`, `{"schema_version":1,"Load":0.5}`} {
+	// Documents without a tag (the pre-versioning form) and with any
+	// supported version all decode; future versions are rejected with a
+	// structured per-field error.
+	for _, doc := range []string{`{"Load":0.5}`, `{"schema_version":1,"Load":0.5}`, `{"schema_version":2,"Load":0.5}`} {
 		if _, err := ParseConfig([]byte(doc)); err != nil {
 			t.Errorf("ParseConfig(%s) = %v, want nil", doc, err)
 		}
 	}
-	for _, doc := range []string{`{"schema_version":2}`, `{"schema_version":0}`, `{"schema_version":-3}`} {
-		if _, err := ParseConfig([]byte(doc)); err == nil {
+	for _, doc := range []string{`{"schema_version":3}`, `{"schema_version":0}`, `{"schema_version":-3}`} {
+		_, err := ParseConfig([]byte(doc))
+		if err == nil {
 			t.Errorf("ParseConfig(%s) accepted an unsupported schema version", doc)
+			continue
+		}
+		var verr ValidationError
+		if !errors.As(err, &verr) || len(verr) != 1 || verr[0].Field != "schema_version" {
+			t.Errorf("ParseConfig(%s) error = %v, want a schema_version ValidationError", doc, err)
 		}
 	}
 }

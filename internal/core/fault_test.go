@@ -161,7 +161,7 @@ func TestKillWithoutFallbackDrops(t *testing.T) {
 	cfg.Pattern = traffic.Complement
 	cfg.Load = 0.3
 	cfg.Seed = 7
-	top := topology.MustNew(1, cfg.Boards, cfg.NodesPerBoard)
+	top := topology.MustNewSRS(cfg.Boards, cfg.NodesPerBoard)
 	cfg.Faults = &fault.Spec{Events: []fault.Event{
 		{At: cfg.WarmupCycles + 500, Kind: fault.KindLaserKill,
 			Board: 1, Wavelength: top.Wavelength(1, 2), Dest: 2},
@@ -193,7 +193,7 @@ func TestKillHotFlowRepairsAndSurvives(t *testing.T) {
 	cfg.Pattern = traffic.Complement
 	cfg.Load = 0.3
 	cfg.Seed = 7
-	top := topology.MustNew(1, cfg.Boards, cfg.NodesPerBoard)
+	top := topology.MustNewSRS(cfg.Boards, cfg.NodesPerBoard)
 	cfg.Faults = &fault.Spec{Events: []fault.Event{
 		{At: cfg.WarmupCycles + 500, Kind: fault.KindLaserKill,
 			Board: 0, Wavelength: top.Wavelength(0, 3), Dest: 3},

@@ -28,6 +28,11 @@ func FuzzConfigIO(f *testing.F) {
 	f.Add([]byte(`{"schema_version":2,"Mode":"P-B"}`))
 	f.Add([]byte(`{"schema_version":0}`))
 	f.Add([]byte(`{"schema_version":-1,"Window":100}`))
+	f.Add([]byte(`{"schema_version":2,"tiers":[{"Boards":8,"NodesPerBoard":8},{"Boards":16}]}`))
+	f.Add([]byte(`{"schema_version":2,"tiers":[{"Boards":4,"NodesPerBoard":4}],"Load":0.5}`))
+	f.Add([]byte(`{"tiers":[{"Boards":4,"NodesPerBoard":2,"Window":500},{"Boards":4,"Window":4000,"Policy":{"name":"ewma","alpha":0.2}}]}`))
+	f.Add([]byte(`{"tiers":[{"Boards":8},{"Boards":3,"NodesPerBoard":64}],"Mode":"NP-B"}`))
+	f.Add([]byte(`{"tiers":[{"Boards":2,"NodesPerBoard":1},{"Boards":2},{"Boards":2}]}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		cfg := DefaultConfig(PB)
 		if err := json.Unmarshal(data, &cfg); err != nil {

@@ -180,6 +180,11 @@ func (s *System) ResetSeed(seed uint64) error {
 // topology reconstruction entirely.
 type Runner struct {
 	sys *System
+	// rack and fab pool the subsystems of hierarchical runs (see
+	// Runner.Hier): consecutive multi-tier jobs on one shape reset the
+	// rack and fabric slabs in place.
+	rack *Runner
+	fab  *Runner
 }
 
 // System returns a system assembled for cfg: the pooled one reset in
@@ -204,8 +209,16 @@ func (r *Runner) System(cfg Config) (*System, error) {
 }
 
 // RunContext executes one run of cfg through the pooled system,
-// bit-identical to core.RunContext(ctx, cfg).
+// bit-identical to core.RunContext(ctx, cfg). Multi-tier configs run
+// through the hierarchical engine on pooled rack/fabric subsystems.
 func (r *Runner) RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.MultiTier() {
+		h, err := r.Hier(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return h.RunContext(ctx)
+	}
 	sys, err := r.System(cfg)
 	if err != nil {
 		return nil, err

@@ -83,6 +83,12 @@ type Result struct {
 	DegradedWindows []uint64
 	// Faults summarizes the injector's actions (zero without faults).
 	Faults fault.Counters
+
+	// Tiers carries the per-tier breakdown of a hierarchical run:
+	// entry 0 aggregates the rack instances, entry 1 the inter-rack
+	// fabric. Nil on flat (single-SRS) runs, keeping their serialized
+	// Results byte-identical to earlier builds.
+	Tiers []TierResult `json:",omitempty"`
 }
 
 // NormalizedThroughput returns throughput as a fraction of uniform N_c.

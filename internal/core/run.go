@@ -18,7 +18,18 @@ func Run(cfg Config) (*Result, error) {
 // returns within one R_w window with a partial Result and a
 // *CancelledError (never a wedge, and never a perturbed result — the
 // completed prefix is bit-identical to the uncancelled run).
+//
+// Multi-tier configurations (len(cfg.Tiers) >= 2) dispatch to the
+// hierarchical engine: R rack subsystems plus the inter-rack fabric,
+// aggregated into one Result with a per-tier breakdown (Result.Tiers).
 func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.MultiTier() {
+		h, err := NewHier(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return h.RunContext(ctx)
+	}
 	s, err := NewSystem(cfg)
 	if err != nil {
 		return nil, err

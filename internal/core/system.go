@@ -106,6 +106,9 @@ type board struct {
 // pre-pass is deterministic, so the main run stays bit-identical
 // across worker counts.
 func NewSystem(cfg Config) (*System, error) {
+	if cfg.MultiTier() {
+		return nil, fmt.Errorf("core: a System models one SRS tier; run multi-tier configs through Run/RunContext or NewHier")
+	}
 	return newSystem(cfg, nil)
 }
 
@@ -298,7 +301,7 @@ func (s *System) assemble() error {
 func (s *System) buildInjectors() error {
 	cfg := s.cfg
 	master := rng.New(cfg.Seed)
-	pattern, err := traffic.New(cfg.Pattern, s.top.TotalNodes())
+	pattern, err := traffic.NewGrouped(cfg.Pattern, s.top.TotalNodes(), s.top.NodesPerBoard())
 	if err != nil {
 		return err
 	}

@@ -24,6 +24,11 @@ type TelemetryConfig struct {
 	// Sinks are additional event consumers (e.g. a JSONL stream); they
 	// receive every event alongside the recorder.
 	Sinks []telemetry.Sink
+	// Prefix is prepended to every series name. Hierarchical runs label
+	// each subsystem's series with its tier and instance (e.g.
+	// "tier0/rack3/supply_mw", "tier1/supply_mw") so one exported
+	// metrics stream stays unambiguous across tiers.
+	Prefix string
 }
 
 // Telemetry is the per-run observability state: a metrics registry
@@ -36,6 +41,7 @@ type Telemetry struct {
 	window       uint64
 	nextBoundary uint64
 	index        uint64
+	prefix       string
 
 	// Window-latency accumulation (fed by System.onDeliver).
 	latSum   uint64
@@ -113,6 +119,7 @@ func (s *System) EnableTelemetry(cfg TelemetryConfig) *Telemetry {
 		reg:          telemetry.NewRegistry(cfg.SeriesCap),
 		window:       cfg.Window,
 		nextBoundary: cfg.Window,
+		prefix:       cfg.Prefix,
 	}
 	if cfg.EventCap > 0 {
 		t.rec = telemetry.NewRecorder(cfg.EventCap)
@@ -132,23 +139,25 @@ func (s *System) Telemetry() *Telemetry { return s.telemetry }
 // buildSeries pre-creates every series so the per-window sampling path
 // is lookup-free and the registry's meta ordering is stable.
 func (t *Telemetry) buildSeries() {
-	reg := t.reg
-	t.sInjectRate = reg.Series("inject_rate", "pkt/cycle")
-	t.sDeliverRate = reg.Series("deliver_rate", "pkt/cycle")
-	t.sAvgLatency = reg.Series("avg_latency", "cycles")
-	t.sSupplyMW = reg.Series("supply_mw", "mW")
-	t.sDynamicMW = reg.Series("dynamic_mw", "mW")
-	t.sInstMW = reg.Series("inst_supply_mw", "mW")
-	t.sReassign = reg.Series("reassignments", "1/window")
-	t.sReclaims = reg.Series("reclaims", "1/window")
-	t.sLevelUps = reg.Series("level_ups", "1/window")
-	t.sLevelDowns = reg.Series("level_downs", "1/window")
-	t.sShutdowns = reg.Series("shutdowns", "1/window")
-	t.sWakes = reg.Series("wakes", "1/window")
+	reg := func(name, unit string) *telemetry.TimeSeries {
+		return t.reg.Series(t.prefix+name, unit)
+	}
+	t.sInjectRate = reg("inject_rate", "pkt/cycle")
+	t.sDeliverRate = reg("deliver_rate", "pkt/cycle")
+	t.sAvgLatency = reg("avg_latency", "cycles")
+	t.sSupplyMW = reg("supply_mw", "mW")
+	t.sDynamicMW = reg("dynamic_mw", "mW")
+	t.sInstMW = reg("inst_supply_mw", "mW")
+	t.sReassign = reg("reassignments", "1/window")
+	t.sReclaims = reg("reclaims", "1/window")
+	t.sLevelUps = reg("level_ups", "1/window")
+	t.sLevelDowns = reg("level_downs", "1/window")
+	t.sShutdowns = reg("shutdowns", "1/window")
+	t.sWakes = reg("wakes", "1/window")
 	if t.sys.faults != nil {
-		t.sFailedLasers = reg.Series("failed_lasers", "lasers")
-		t.sDropsFault = reg.Series("dropped_by_fault", "pkt/window")
-		t.sFaultRepairs = reg.Series("fault_repairs", "1/window")
+		t.sFailedLasers = reg("failed_lasers", "lasers")
+		t.sDropsFault = reg("dropped_by_fault", "pkt/window")
+		t.sFaultRepairs = reg("fault_repairs", "1/window")
 	}
 
 	ladder := t.sys.fab.Config().Ladder
@@ -159,7 +168,7 @@ func (t *Telemetry) buildSeries() {
 		if lv > 0 {
 			name = fmt.Sprintf("level%d_channels", lv)
 		}
-		t.sLevels[lv] = reg.Series(name, "channels")
+		t.sLevels[lv] = reg(name, "channels")
 	}
 
 	b := t.sys.top.Boards()
@@ -168,13 +177,13 @@ func (t *Telemetry) buildSeries() {
 	for bi := 0; bi < b; bi++ {
 		p := fmt.Sprintf("board%d/", bi)
 		t.sBoards[bi] = boardSeries{
-			supplyMW: reg.Series(p+"supply_mw", "mW"),
-			held:     reg.Series(p+"held_channels", "channels"),
-			lit:      reg.Series(p+"lit_lasers", "lasers"),
-			avgLevel: reg.Series(p+"avg_level", "level"),
-			txBusy:   reg.Series(p+"tx_busy", "lasers"),
-			queued:   reg.Series(p+"queued_pkts", "pkt"),
-			ibiFlits: reg.Series(p+"ibi_flits", "flits"),
+			supplyMW: reg(p+"supply_mw", "mW"),
+			held:     reg(p+"held_channels", "channels"),
+			lit:      reg(p+"lit_lasers", "lasers"),
+			avgLevel: reg(p+"avg_level", "level"),
+			txBusy:   reg(p+"tx_busy", "lasers"),
+			queued:   reg(p+"queued_pkts", "pkt"),
+			ibiFlits: reg(p+"ibi_flits", "flits"),
 		}
 	}
 }

@@ -168,6 +168,30 @@ type Counters struct {
 	FaultRepairs    uint64 // channels moved off a permanently failed laser
 }
 
+// Add returns the field-wise sum of two counter sets: the aggregate
+// control activity of independently controlled subsystems (the tiers
+// and rack instances of a hierarchical run).
+func (c Counters) Add(o Counters) Counters {
+	c.Windows += o.Windows
+	c.PowerCycles += o.PowerCycles
+	c.BandwidthCyles += o.BandwidthCyles
+	c.MessagesSent += o.MessagesSent
+	c.Reassignments += o.Reassignments
+	c.Reclaims += o.Reclaims
+	c.LevelUps += o.LevelUps
+	c.LevelDowns += o.LevelDowns
+	c.Shutdowns += o.Shutdowns
+	c.FailedMoves += o.FailedMoves
+	c.PowerCycleBusy += o.PowerCycleBusy
+	c.BandwidthCycleBusy += o.BandwidthCycleBusy
+	c.Timeouts += o.Timeouts
+	c.Retries += o.Retries
+	c.StaleMsgs += o.StaleMsgs
+	c.AbandonedCycles += o.AbandonedCycles
+	c.FaultRepairs += o.FaultRepairs
+	return c
+}
+
 // StageEvent records one LS protocol stage execution, for the Fig. 4
 // trace reproduction and protocol-order tests.
 type StageEvent struct {

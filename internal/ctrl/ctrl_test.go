@@ -19,7 +19,7 @@ type rig struct {
 
 func newRig(t *testing.T, boards int, cfg Config) *rig {
 	t.Helper()
-	top := topology.MustNew(1, boards, 4)
+	top := topology.MustNewSRS(boards, 4)
 	eng := sim.NewEngine()
 	fab, err := optical.NewFabric(top, eng, optical.Config{
 		CycleNS: 2.5, PropCycles: 8, RelockCycles: 65,

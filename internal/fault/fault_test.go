@@ -13,7 +13,7 @@ import (
 
 func newFabric(t *testing.T, boards int) *optical.Fabric {
 	t.Helper()
-	top := topology.MustNew(1, boards, 4)
+	top := topology.MustNewSRS(boards, 4)
 	f, err := optical.NewFabric(top, sim.NewEngine(), optical.Config{
 		CycleNS:        2.5,
 		PropCycles:     8,

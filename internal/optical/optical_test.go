@@ -24,7 +24,7 @@ func testConfig() Config {
 
 func newTestFabric(t *testing.T, boards int) (*Fabric, *sim.Engine) {
 	t.Helper()
-	top := topology.MustNew(1, boards, 4)
+	top := topology.MustNewSRS(boards, 4)
 	eng := sim.NewEngine()
 	f, err := NewFabric(top, eng, testConfig())
 	if err != nil {
@@ -285,7 +285,7 @@ func TestReassignSameHolderNoop(t *testing.T) {
 func TestBackpressureHoldsReassembly(t *testing.T) {
 	cfg := testConfig()
 	cfg.QueueCap = 1
-	top := topology.MustNew(1, 4, 4)
+	top := topology.MustNewSRS(4, 4)
 	eng := sim.NewEngine()
 	f, err := NewFabric(top, eng, cfg)
 	if err != nil {
@@ -413,7 +413,7 @@ func TestConfigValidation(t *testing.T) {
 func TestPortRadiusLimitsArray(t *testing.T) {
 	cfg := testConfig()
 	cfg.PortRadius = 1
-	top := topology.MustNew(1, 8, 4)
+	top := topology.MustNewSRS(8, 4)
 	eng := sim.NewEngine()
 	f, err := NewFabric(top, eng, cfg)
 	if err != nil {

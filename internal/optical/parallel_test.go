@@ -50,7 +50,7 @@ func (r *recorder) deliver(d, w int) DeliverFunc {
 // permanently failed laser (so drop-hook calls do too) and metering
 // enabled from cycle 0.
 func loadedFabric(t testing.TB, boards int) (*Fabric, *sim.Engine, *recorder) {
-	top := topology.MustNew(1, boards, 4)
+	top := topology.MustNewSRS(boards, 4)
 	eng := sim.NewEngine()
 	cfg := testConfig()
 	f, err := NewFabric(top, eng, cfg)
@@ -131,7 +131,7 @@ func injectDue(f *Fabric, top *topology.Topology, sched []injection, idx *int, n
 func TestCommitReplayMatchesSerialOrder(t *testing.T) {
 	const boards = 6
 	const cycles = 1200
-	top := topology.MustNew(1, boards, 4)
+	top := topology.MustNewSRS(boards, 4)
 
 	// Adversarial board visitation orders for the parallel drive:
 	// reverse, odds-then-evens, and a per-cycle rotation.
@@ -222,7 +222,7 @@ func TestCommitReplayMatchesSerialOrder(t *testing.T) {
 // logs retain their backing arrays across cycles).
 func BenchmarkOutboxCommit(b *testing.B) {
 	const boards = 8
-	top := topology.MustNew(1, boards, 4)
+	top := topology.MustNewSRS(boards, 4)
 	f, eng, _ := loadedFabric(b, boards)
 	f.EnableParallel()
 	// Pre-build every injection's flit stream so the timed loop measures

@@ -421,3 +421,88 @@ func TestHTTPQueueFull503(t *testing.T) {
 	s.Cancel(blocker.ID)
 	waitDone(t, s, blocker.ID)
 }
+
+// TestHTTPMultiTierRun submits a schema v2 (hierarchical) config and
+// checks the tier-aware surface: the schema version echoes on the job
+// view, the result carries the per-tier breakdown, and invalid tier
+// fields come back as indexed 400 diagnostics.
+func TestHTTPMultiTierRun(t *testing.T) {
+	_, ts := httpServer(t, Options{Workers: 1})
+
+	body := `{"schema_version":2,` +
+		`"tiers":[{"Boards":4,"NodesPerBoard":2},{"Boards":3}],` +
+		`"Mode":"P-B","Window":500,"WarmupCycles":1000,"MeasureCycles":1000,"Load":0.3}`
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := decodeJob(t, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+	if v.SchemaVersion != 2 {
+		t.Errorf("JobView schema_version = %d, want 2", v.SchemaVersion)
+	}
+
+	done := pollDone(t, ts.URL, v.ID)
+	if done.State != StateDone {
+		t.Fatalf("job state %s (%s), want done", done.State, done.Error)
+	}
+	if done.SchemaVersion != 2 {
+		t.Errorf("terminal JobView schema_version = %d, want 2", done.SchemaVersion)
+	}
+	var res core.Result
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatalf("decoding result: %v", err)
+	}
+	if len(res.Tiers) != 2 {
+		t.Fatalf("result Tiers length %d, want 2", len(res.Tiers))
+	}
+	if res.Tiers[0].Systems != 3 {
+		t.Errorf("tier 0 systems = %d, want 3 racks", res.Tiers[0].Systems)
+	}
+
+	// Flat submissions keep echoing version 1.
+	flat, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(
+		`{"Boards":4,"NodesPerBoard":2,"Window":500,"WarmupCycles":500,"MeasureCycles":500,"Load":0.2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv := decodeJob(t, flat.Body)
+	flat.Body.Close()
+	if fv.SchemaVersion != 1 {
+		t.Errorf("flat JobView schema_version = %d, want 1", fv.SchemaVersion)
+	}
+
+	// Invalid tier fields are located by index in the structured 400.
+	bad, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(
+		`{"tiers":[{"Boards":4,"NodesPerBoard":2},{"Boards":3,"Wavelengths":7}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid tier submit status %d, want 400", bad.StatusCode)
+	}
+	eb := decodeError(t, bad.Body)
+	found := false
+	for _, fe := range eb.Fields {
+		if fe.Field == "Tiers[1].Wavelengths" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("400 fields %v missing Tiers[1].Wavelengths", eb.Fields)
+	}
+
+	// Unknown schema versions are rejected with the same envelope.
+	vbad, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(`{"schema_version":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vbad.Body.Close()
+	if vbad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("schema_version 3 submit status %d, want 400", vbad.StatusCode)
+	}
+}

@@ -89,6 +89,10 @@ type JobView struct {
 	RequestID string `json:"request_id,omitempty"`
 	// ConfigDigest is the canonical config content address (run jobs).
 	ConfigDigest string `json:"config_digest,omitempty"`
+	// SchemaVersion echoes the config schema version of a run job's
+	// configuration: 2 for hierarchical (multi-tier) configs, 1 for flat
+	// ones. Omitted for sweep jobs.
+	SchemaVersion int `json:"schema_version,omitempty"`
 	// ResultDigest is the SHA-256 of the serialized result; two runs of
 	// the same config digest always report the same result digest.
 	ResultDigest string     `json:"result_digest,omitempty"`
@@ -121,6 +125,9 @@ func (j *Job) snapshot() JobView {
 		Error:        j.errMsg,
 		Partial:      j.partial,
 		Result:       j.resultJSON,
+	}
+	if j.kind == "run" {
+		v.SchemaVersion = j.cfg.SchemaVersion()
 	}
 	if !j.startedAt.IsZero() {
 		t := j.startedAt

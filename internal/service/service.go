@@ -504,18 +504,36 @@ func (s *Server) finishLocked(j *Job, state JobState, resultJSON json.RawMessage
 }
 
 // execRun simulates one configuration on the worker's pooled system,
-// streaming its telemetry into the job's event log.
+// streaming its telemetry into the job's event log. Multi-tier configs
+// run through the hierarchical engine on the runner's pooled rack and
+// fabric subsystems.
 func (s *Server) execRun(ctx context.Context, runner *core.Runner, j *Job) (json.RawMessage, error) {
-	sys, err := runner.System(j.cfg)
-	if err != nil {
-		return nil, err
+	var (
+		res    *core.Result
+		runErr error
+	)
+	if j.cfg.MultiTier() {
+		h, err := runner.Hier(j.cfg)
+		if err != nil {
+			return nil, err
+		}
+		if j.events != nil {
+			h.AttachSink(j.events)
+		}
+		res, runErr = h.RunContext(ctx)
+	} else {
+		sys, err := runner.System(j.cfg)
+		if err != nil {
+			return nil, err
+		}
+		if j.events != nil {
+			sys.AttachSink(j.events)
+		}
+		res, runErr = sys.RunContext(ctx)
 	}
-	if j.events != nil {
-		sys.AttachSink(j.events)
-	}
-	res, runErr := sys.RunContext(ctx)
 	var data json.RawMessage
 	if res != nil {
+		var err error
 		data, err = json.Marshal(res)
 		if err != nil {
 			return nil, err

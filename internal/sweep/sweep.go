@@ -189,6 +189,11 @@ func runPoint(ctx context.Context, r *core.Runner, cfg core.Config, agg *core.Ph
 	if agg != nil {
 		cfg.PhaseProfile = true
 	}
+	if cfg.MultiTier() {
+		// Hierarchical points run through the runner's pooled rack and
+		// fabric subsystems (phase profiling is a flat-engine knob).
+		return r.RunContext(ctx, cfg)
+	}
 	sys, err := r.System(cfg)
 	if err != nil {
 		return nil, err

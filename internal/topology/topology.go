@@ -23,22 +23,27 @@ type Topology struct {
 	nodes    int // nodes per board
 }
 
-// New validates and builds a topology. The evaluated systems use C = 1;
-// multi-cluster systems are representable but the simulator assembles
-// one cluster at a time (matching the paper's evaluation).
+// New validates and builds a topology from the legacy 3-tuple. The
+// evaluated systems use C = 1; multi-cluster systems are representable
+// but the simulator assembles one cluster at a time.
+//
+// Deprecated: the simulator composes systems from tiers now. Use NewSRS
+// for the C = 1 building block, or NewHier for multi-tier hierarchies.
 func New(clusters, boards, nodes int) (*Topology, error) {
-	switch {
-	case clusters < 1:
+	if clusters < 1 {
 		return nil, fmt.Errorf("topology: clusters = %d, need >= 1", clusters)
-	case boards < 2:
-		return nil, fmt.Errorf("topology: boards = %d, need >= 2 (SRS requires at least two boards)", boards)
-	case nodes < 1:
-		return nil, fmt.Errorf("topology: nodes per board = %d, need >= 1", nodes)
 	}
-	return &Topology{clusters: clusters, boards: boards, nodes: nodes}, nil
+	t, err := NewSRS(boards, nodes)
+	if err != nil {
+		return nil, err
+	}
+	t.clusters = clusters
+	return t, nil
 }
 
 // MustNew is New for static configurations known to be valid.
+//
+// Deprecated: use MustNewSRS (or NewHier for multi-tier hierarchies).
 func MustNew(clusters, boards, nodes int) *Topology {
 	t, err := New(clusters, boards, nodes)
 	if err != nil {

@@ -19,6 +19,7 @@ func TestNewValidation(t *testing.T) {
 		{-1, 4, 4, false},
 	}
 	for _, c := range cases {
+		//lint:ignore SA1019 exercising the deprecated multi-cluster shim
 		_, err := New(c.c, c.b, c.d)
 		if (err == nil) != c.ok {
 			t.Errorf("New(%d,%d,%d) error = %v, want ok=%v", c.c, c.b, c.d, err, c.ok)
@@ -29,7 +30,7 @@ func TestNewValidation(t *testing.T) {
 func TestPaperWavelengthExamples(t *testing.T) {
 	// Paper Sec 2.1, R(1,4,4): board 1 -> board 0 uses λ1^(1); the reverse,
 	// board 0 -> board 1, uses λ3^(0).
-	top := MustNew(1, 4, 4)
+	top := MustNewSRS(4, 4)
 	if w := top.Wavelength(1, 0); w != 1 {
 		t.Errorf("Wavelength(1,0) = %d, want 1", w)
 	}
@@ -46,7 +47,7 @@ func TestWavelengthMatchesPaperPiecewiseForm(t *testing.T) {
 	// The paper defines w = B-(d-s) if d > s, w = s-d if s > d. Check our
 	// single modular formula agrees on every pair for several sizes.
 	for _, b := range []int{2, 3, 4, 8, 16} {
-		top := MustNew(1, b, 1)
+		top := MustNewSRS(b, 1)
 		for s := 0; s < b; s++ {
 			for d := 0; d < b; d++ {
 				if s == d {
@@ -69,7 +70,7 @@ func TestWavelengthNeverZeroAndUniquePerDestination(t *testing.T) {
 	// distinct wavelengths, none of them 0 — that is what makes the
 	// passively-coupled SRS collision-free under static allocation.
 	for _, b := range []int{2, 4, 8, 12} {
-		top := MustNew(1, b, 4)
+		top := MustNewSRS(b, 4)
 		for d := 0; d < b; d++ {
 			seen := map[int]int{}
 			for s := 0; s < b; s++ {
@@ -95,7 +96,7 @@ func TestWavelengthNeverZeroAndUniquePerDestination(t *testing.T) {
 func TestStaticOwnerInvertsWavelength(t *testing.T) {
 	f := func(bRaw, dRaw, wRaw uint8) bool {
 		b := int(bRaw%14) + 2
-		top := MustNew(1, b, 2)
+		top := MustNewSRS(b, 2)
 		d := int(dRaw) % b
 		w := int(wRaw)%(b-1) + 1
 		s := top.StaticOwner(d, w)
@@ -107,7 +108,7 @@ func TestStaticOwnerInvertsWavelength(t *testing.T) {
 }
 
 func TestNodeAddressing(t *testing.T) {
-	top := MustNew(1, 8, 8)
+	top := MustNewSRS(8, 8)
 	if top.TotalNodes() != 64 {
 		t.Fatalf("TotalNodes = %d, want 64", top.TotalNodes())
 	}
@@ -127,6 +128,7 @@ func TestNodeAddressing(t *testing.T) {
 
 func TestNodeIDRoundTrip(t *testing.T) {
 	f := func(cRaw, bRaw, dRaw uint8) bool {
+		//lint:ignore SA1019 exercising the deprecated multi-cluster shim
 		top := MustNew(2, 6, 5)
 		c := int(cRaw) % 2
 		b := int(bRaw) % 6
@@ -140,7 +142,7 @@ func TestNodeIDRoundTrip(t *testing.T) {
 }
 
 func TestChannelIDRoundTrip(t *testing.T) {
-	top := MustNew(1, 8, 8)
+	top := MustNewSRS(8, 8)
 	seen := make(map[int]bool)
 	for d := 0; d < 8; d++ {
 		for w := 1; w < 8; w++ {
@@ -164,7 +166,7 @@ func TestChannelIDRoundTrip(t *testing.T) {
 }
 
 func TestPanics(t *testing.T) {
-	top := MustNew(1, 4, 4)
+	top := MustNewSRS(4, 4)
 	for name, fn := range map[string]func(){
 		"wavelength-self":    func() { top.Wavelength(2, 2) },
 		"wavelength-oob":     func() { top.Wavelength(4, 0) },
@@ -187,19 +189,19 @@ func TestPanics(t *testing.T) {
 }
 
 func TestStringNotation(t *testing.T) {
-	if s := MustNew(1, 4, 4).String(); s != "R(1,4,4)" {
+	if s := MustNewSRS(4, 4).String(); s != "R(1,4,4)" {
 		t.Errorf("String() = %q, want R(1,4,4)", s)
 	}
 }
 
 func TestWavelengthsCount(t *testing.T) {
-	if w := MustNew(1, 8, 8).Wavelengths(); w != 7 {
+	if w := MustNewSRS(8, 8).Wavelengths(); w != 7 {
 		t.Errorf("Wavelengths() = %d, want 7", w)
 	}
 }
 
 func BenchmarkWavelengthAssignment(b *testing.B) {
-	top := MustNew(1, 8, 8)
+	top := MustNewSRS(8, 8)
 	var sink int
 	for i := 0; i < b.N; i++ {
 		s := i % 8

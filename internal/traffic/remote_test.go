@@ -1,0 +1,64 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestRemoteNeverHitsOwnGroup(t *testing.T) {
+	const n, group = 64, 8
+	p, err := NewGrouped(Remote, n, group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rng.New(7)
+	counts := make([]int, n)
+	for src := 0; src < n; src++ {
+		for i := 0; i < 500; i++ {
+			d := p.Dest(src, s)
+			if d/group == src/group {
+				t.Fatalf("remote: src %d drew dest %d in its own group", src, d)
+			}
+			counts[d]++
+		}
+	}
+	// Every foreign node must be reachable (coarse uniformity check).
+	for d, c := range counts {
+		if c == 0 {
+			t.Fatalf("remote: node %d never drawn", d)
+		}
+	}
+}
+
+func TestRemoteGroupOneMatchesUniform(t *testing.T) {
+	// With singleton groups, remote is uniform-excluding-self and must
+	// consume the same single draw so injector streams stay aligned.
+	const n = 16
+	r := MustNew(Remote, n)
+	u := MustNew(Uniform, n)
+	rs, us := rng.New(42), rng.New(42)
+	for src := 0; src < n; src++ {
+		for i := 0; i < 200; i++ {
+			if dr, du := r.Dest(src, rs), u.Dest(src, us); dr != du {
+				t.Fatalf("src %d: remote %d != uniform %d", src, dr, du)
+			}
+		}
+	}
+}
+
+func TestRemoteGroupValidation(t *testing.T) {
+	if _, err := NewGrouped(Remote, 64, 7); err == nil {
+		t.Error("non-dividing group size should fail")
+	}
+	if _, err := NewGrouped(Remote, 8, 8); err == nil {
+		t.Error("single group should fail")
+	}
+	if _, err := NewGrouped(Remote, 8, 0); err == nil {
+		t.Error("zero group should fail")
+	}
+	// Non-remote names ignore the group.
+	if _, err := NewGrouped(Uniform, 8, 3); err != nil {
+		t.Errorf("uniform via NewGrouped: %v", err)
+	}
+}

@@ -39,11 +39,16 @@ const (
 	Tornado    = "tornado"
 	Neighbor   = "neighbor"
 	Hotspot    = "hotspot"
+	// Remote draws uniformly over the nodes of *other* groups (boards or
+	// racks): the inter-group share of a uniform workload. It is the
+	// workload a hierarchy's upper tier carries, and what NewGrouped's
+	// group parameter exists for.
+	Remote = "remote"
 )
 
 // Names lists all supported pattern names.
 func Names() []string {
-	return []string{Uniform, Complement, Butterfly, Shuffle, Transpose, BitReverse, Tornado, Neighbor, Hotspot}
+	return []string{Uniform, Complement, Butterfly, Shuffle, Transpose, BitReverse, Tornado, Neighbor, Hotspot, Remote}
 }
 
 // PaperNames lists the four patterns evaluated in the paper.
@@ -98,9 +103,30 @@ func New(name string, n int) (Pattern, error) {
 		return neighbor{n: n}, nil
 	case Hotspot:
 		return NewHotspot(n, 0, 0.2), nil
+	case Remote:
+		// Without a topology, every node is its own group: uniform over
+		// all nodes but self. NewGrouped supplies the real group size.
+		return remote{n: n, group: 1}, nil
 	default:
 		return nil, fmt.Errorf("traffic: unknown pattern %q (known: %v)", name, Names())
 	}
+}
+
+// NewGrouped constructs a pattern by name for n nodes arranged in
+// contiguous groups of the given size (a board's or rack's nodes).
+// Only group-aware patterns (remote) consult the group size; all other
+// names behave exactly as New.
+func NewGrouped(name string, n, group int) (Pattern, error) {
+	if name != Remote {
+		return New(name, n)
+	}
+	if group < 1 || n%group != 0 {
+		return nil, fmt.Errorf("traffic: remote needs a group size dividing %d nodes, got %d", n, group)
+	}
+	if n <= group {
+		return nil, fmt.Errorf("traffic: remote needs at least 2 groups (%d nodes in groups of %d)", n, group)
+	}
+	return remote{n: n, group: group}, nil
 }
 
 // MustNew is New for statically valid configurations.
@@ -121,6 +147,25 @@ func (u uniform) Dest(src int, s *rng.Stream) int {
 	d := s.Intn(u.n - 1)
 	if d >= src {
 		d++
+	}
+	return d
+}
+
+// remote draws uniformly over the nodes of other groups: never the
+// source's own group, so (for groups = boards) every packet crosses the
+// optical fabric, and (for groups = racks) every packet crosses the
+// inter-rack tier.
+type remote struct{ n, group int }
+
+func (r remote) Name() string { return Remote }
+
+// Dest consumes exactly one draw, like uniform: an index over the
+// n-group foreign nodes, shifted past the source's group block.
+func (r remote) Dest(src int, s *rng.Stream) int {
+	base := src - src%r.group
+	d := s.Intn(r.n - r.group)
+	if d >= base {
+		d += r.group
 	}
 	return d
 }

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the simulator speed benchmarks, record the results as a
-# machine-readable JSON file (default BENCH_5.json in the repo root),
+# machine-readable JSON file (default BENCH_6.json in the repo root),
 # and gate them against a checked-in baseline.
 #
 # Usage:
@@ -13,7 +13,9 @@
 #
 # The file records cycles/s (or jobs/s), ns/op, B/op and allocs/op for
 # each BenchmarkSimSpeed* case (including the large-config parallel
-# matrix), the System.Reset reuse benchmarks (SystemReset, SweepJobs,
+# matrix and the 1024-node hierarchical row SimSpeedHier/16x8x8, whose
+# "peak_rss_mb" field is the process high-water memory mark after the
+# run), the System.Reset reuse benchmarks (SystemReset, SweepJobs,
 # ServiceThroughput), plus the pre-optimization baseline of the headline
 # case (64-node P-B, uniform, load 0.5) and the resulting speedup
 # factors. See the Performance sections of README.md and DESIGN.md for
@@ -37,7 +39,7 @@
 # Gates (after recording; every gate's outcome — ok, FAIL, or skipped
 # with the reason — is appended to the JSON under "gates", so the perf
 # trajectory is self-describing off-box):
-#   - against $BASELINE (default BENCH_4.json): any benchmark present in
+#   - against $BASELINE (default BENCH_5.json): any benchmark present in
 #     both files may not lose more than 20% cycles/s. Cross-run absolute
 #     throughput on shared machines drifts ±15% with co-tenant load
 #     (measured: the same binary spans 84–99k cycles/s on the P-B
@@ -71,14 +73,21 @@ while [ $# -gt 0 ]; do
             ARGS+=("$1"); shift ;;
     esac
 done
-OUT="${ARGS[0]:-BENCH_5.json}"
-BASELINE="${BASELINE:-BENCH_4.json}"
+OUT="${ARGS[0]:-BENCH_6.json}"
+BASELINE="${BASELINE:-BENCH_5.json}"
 
-BENCH_RE='BenchmarkSimSpeed|BenchmarkSystemReset|BenchmarkSweepJobs|BenchmarkServiceThroughput'
+# The hierarchical 1k-node row runs in its own process below so its
+# peakRSS-MB metric (getrusage ru_maxrss, a process-wide high-water
+# mark) measures that row alone rather than whatever large config ran
+# before it in the same binary.
+BENCH_RE='BenchmarkSimSpeed($|Large|HighLoad|Complement|Idle)|BenchmarkSystemReset|BenchmarkSweepJobs|BenchmarkServiceThroughput'
+HIER_RE='BenchmarkSimSpeedHier'
 if [ "${SKIP_LARGE:-0}" = "1" ]; then
     # The reuse benchmarks all run large configs (64x8 jobs, 32x16
-    # resets), so SKIP_LARGE drops them along with SimSpeedLarge.
+    # resets), so SKIP_LARGE drops them along with SimSpeedLarge and
+    # the 1024-node hierarchical row.
     BENCH_RE='BenchmarkSimSpeed($|HighLoad|Complement|Idle)'
+    HIER_RE=''
 fi
 
 # Capture stderr too, and surface the output even when go test fails —
@@ -89,6 +98,15 @@ if ! RAW="$(go test -run '^$' -bench "$BENCH_RE" -benchtime "$BENCHTIME" -count 
     printf '%s\n' "$RAW" >&2
     echo "bench.sh: benchmark run failed" >&2
     exit 1
+fi
+if [ -n "$HIER_RE" ]; then
+    if ! HRAW="$(go test -run '^$' -bench "$HIER_RE" -benchtime "$BENCHTIME" -count "$BENCH_COUNT" -timeout 0 . 2>&1)"; then
+        printf '%s\n' "$HRAW" >&2
+        echo "bench.sh: hierarchical benchmark run failed" >&2
+        exit 1
+    fi
+    RAW="$RAW
+$HRAW"
 fi
 printf '%s\n' "$RAW"
 
@@ -101,18 +119,19 @@ printf '%s\n' "$RAW" | awk \
     name = $1
     sub(/^Benchmark/, "", name)
     sub(/-[0-9]+$/, "", name)      # strip the -GOMAXPROCS suffix
-    ns = "null"; cyc = "null"; jobs = "null"; bytes = "null"; allocs = "null"
+    ns = "null"; cyc = "null"; jobs = "null"; bytes = "null"; allocs = "null"; rss = "null"
     for (i = 2; i < NF; i++) {
-        if ($(i+1) == "ns/op")          ns = $i
-        else if ($(i+1) == "cycles/s")  cyc = $i
-        else if ($(i+1) == "jobs/s")    jobs = $i
-        else if ($(i+1) == "B/op")      bytes = $i
-        else if ($(i+1) == "allocs/op") allocs = $i
+        if ($(i+1) == "ns/op")           ns = $i
+        else if ($(i+1) == "cycles/s")   cyc = $i
+        else if ($(i+1) == "jobs/s")     jobs = $i
+        else if ($(i+1) == "B/op")       bytes = $i
+        else if ($(i+1) == "allocs/op")  allocs = $i
+        else if ($(i+1) == "peakRSS-MB") rss = $i
     }
     if (!(name in seen)) {
         n++; names[n] = name; seen[name] = n
         nss[n] = ns; cycs[n] = cyc; jobss[n] = jobs
-        bytess[n] = bytes; allocss[n] = allocs
+        bytess[n] = bytes; allocss[n] = allocs; rsss[n] = rss
         if (ns != "null") { samples[n] = ns; minns[n] = ns + 0; maxns[n] = ns + 0 }
         next
     }
@@ -131,6 +150,8 @@ printf '%s\n' "$RAW" | awk \
     if (jobs != "null"   && (jobss[k] == "null"   || jobs + 0 > jobss[k] + 0))    jobss[k] = jobs
     if (bytes != "null"  && (bytess[k] == "null"  || bytes + 0 < bytess[k] + 0))  bytess[k] = bytes
     if (allocs != "null" && (allocss[k] == "null" || allocs + 0 < allocss[k] + 0)) allocss[k] = allocs
+    # Peak RSS is a high-water mark: the max across repeats is the figure.
+    if (rss != "null"    && (rsss[k] == "null"    || rss + 0 > rsss[k] + 0))      rsss[k] = rss
 }
 END {
     if (n == 0) { print "bench.sh: no benchmark results parsed" > "/dev/stderr"; exit 1 }
@@ -151,8 +172,8 @@ END {
         var = "0"
         if (samples[i] != "" && minns[i] > 0)
             var = sprintf("%.1f", 100 * (maxns[i] - minns[i]) / minns[i])
-        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"cycles_per_sec\": %s, \"jobs_per_sec\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s,\n", \
-            names[i], nss[i], cycs[i], jobss[i], bytess[i], allocss[i]
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"cycles_per_sec\": %s, \"jobs_per_sec\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"peak_rss_mb\": %s,\n", \
+            names[i], nss[i], cycs[i], jobss[i], bytess[i], allocss[i], rsss[i]
         printf "     \"samples_ns_per_op\": [%s], \"variance_pct\": %s}%s\n", \
             samples[i], var, (i < n ? "," : "")
         if (names[i] == "SimSpeed/P-B") { head_cyc = cycs[i]; head_allocs = allocss[i] }
